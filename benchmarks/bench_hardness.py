@@ -1,0 +1,59 @@
+"""Structural hardness metrics of the benchmark families.
+
+Uses :func:`repro.core.depgraph.analyze_prefix` to quantify how "Henkin"
+each family's instances are: the number of incomparable dependency
+pairs and the minimum elimination set (MaxSAT optimum of Eqs. 1-2).
+The paper's narrative — multi-black-box PEC instances genuinely need
+DQBF — becomes a measurable property: single-box instances linearize
+for free, multi-box ones require eliminations.
+"""
+
+from __future__ import annotations
+
+from repro.core.depgraph import analyze_prefix
+from repro.pec.families import FAMILIES, generate_family, make_adder
+
+
+def test_family_hardness_profile(benchmark, config):
+    def measure():
+        profile = {}
+        for family in FAMILIES:
+            instances = generate_family(family, config.count, scale=config.scale, seed=19)
+            rows = [analyze_prefix(inst.formula.prefix) for inst in instances]
+            profile[family] = {
+                "mean_pairs": sum(r.num_incomparable_pairs for r in rows) / len(rows),
+                "mean_min_elim": sum(r.min_elimination_set for r in rows) / len(rows),
+                "qbf_fraction": sum(1 for r in rows if r.is_qbf) / len(rows),
+            }
+        return profile
+
+    profile = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    for family, metrics in profile.items():
+        print(
+            f"  {family:<10} pairs={metrics['mean_pairs']:6.1f} "
+            f"min_elim={metrics['mean_min_elim']:5.2f} "
+            f"qbf_fraction={metrics['qbf_fraction']:.2f}"
+        )
+    # the suite must be genuinely Henkin: most instances need eliminations
+    total_qbf = sum(m["qbf_fraction"] for m in profile.values()) / len(profile)
+    assert total_qbf < 0.5
+
+
+def test_boxes_drive_hardness(benchmark):
+    """More black boxes -> more incomparable pairs -> larger elimination set."""
+
+    def measure():
+        rows = []
+        for boxes in (1, 2, 3):
+            instance = make_adder(6, boxes, buggy=False, seed=23)
+            rows.append((boxes, analyze_prefix(instance.formula.prefix)))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    for boxes, analysis in rows:
+        print(f"  boxes={boxes}: {analysis.as_dict()}")
+    pairs = [analysis.num_incomparable_pairs for _, analysis in rows]
+    assert pairs[0] <= pairs[1] <= pairs[2]
+    assert rows[0][1].min_elimination_set <= rows[2][1].min_elimination_set

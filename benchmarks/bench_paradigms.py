@@ -1,0 +1,72 @@
+"""The three DQBF solving paradigms of Section II, head to head.
+
+search-based [14] vs elimination-based ([10] and HQS) vs
+instantiation-based (iDQ) on a pool of small PEC instances.  The
+expected ordering — HQS in front, plain elimination behind it,
+instantiation struggling on SAT instances, naive search last — is the
+story the DATE'15 paper tells in its related-work discussion.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.dpll import solve_dpll_dqbf
+from repro.baselines.expansion import solve_expansion
+from repro.baselines.idq import IdqSolver
+from repro.core.hqs import HqsSolver
+from repro.pec.families import make_adder, make_bitcell, make_pec_xor
+
+PARADIGMS = {
+    "HQS": lambda f, l: HqsSolver().solve(f, l),
+    "EXPANSION": lambda f, l: solve_expansion(f, l),
+    "IDQ": lambda f, l: IdqSolver().solve(f, l),
+    "DPLL": solve_dpll_dqbf,
+}
+
+
+def _small_pool():
+    return [
+        make_adder(3, 1, buggy=False, seed=41),
+        make_adder(3, 1, buggy=True, seed=42),
+        make_bitcell(4, 1, buggy=True, seed=43),
+        make_pec_xor(4, 1, buggy=False, seed=44),
+    ]
+
+
+@pytest.mark.parametrize("name", sorted(PARADIGMS))
+def test_paradigm(benchmark, name, config):
+    instances = _small_pool()
+    solve = PARADIGMS[name]
+
+    def run_pool():
+        return [solve(inst.formula.copy(), config.limits()) for inst in instances]
+
+    results = benchmark.pedantic(run_pool, rounds=1, iterations=1)
+    solved = sum(1 for r in results if r.solved)
+    benchmark.extra_info["solved"] = solved
+    for instance, result in zip(instances, results):
+        if result.solved and instance.expected is not None:
+            expected = "SAT" if instance.expected else "UNSAT"
+            assert result.status == expected, (name, instance.name)
+    if name == "HQS":
+        assert solved == len(instances)
+
+
+def test_paradigm_ordering(benchmark, config):
+    """HQS solves a superset of what every other paradigm solves here."""
+    instances = _small_pool()
+
+    def run_all():
+        table = {}
+        for name, solve in PARADIGMS.items():
+            table[name] = [
+                solve(inst.formula.copy(), config.limits()) for inst in instances
+            ]
+        return table
+
+    table = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    solved = {name: sum(1 for r in results if r.solved) for name, results in table.items()}
+    print(f"\nparadigms solved: {solved}")
+    for name in ("EXPANSION", "IDQ", "DPLL"):
+        assert solved["HQS"] >= solved[name]

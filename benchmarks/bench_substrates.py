@@ -1,0 +1,97 @@
+"""Micro-benchmarks for the substrates (SAT, MaxSAT, AIG operations).
+
+These are not paper experiments; they track the performance of the
+building blocks so regressions in the engine show up independently of
+the end-to-end numbers.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.aig.cnf_bridge import cnf_to_aig
+from repro.aig.fraig import fraig_root
+from repro.aig.graph import Aig
+from repro.aig.unitpure import detect_unit_pure
+from repro.maxsat.solver import solve_partial_maxsat
+from repro.sat.solver import UNSAT, solve_cnf
+
+
+def php_clauses(holes: int):
+    pigeons = holes + 1
+
+    def var(p, h):
+        return p * holes + h + 1
+
+    clauses = [[var(p, h) for h in range(holes)] for p in range(pigeons)]
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append([-var(p1, h), -var(p2, h)])
+    return clauses
+
+
+def random_cnf(seed: int, num_vars: int, num_clauses: int):
+    rng = random.Random(seed)
+    return [
+        [rng.choice([1, -1]) * rng.randint(1, num_vars) for _ in range(3)]
+        for _ in range(num_clauses)
+    ]
+
+
+def test_sat_pigeonhole(benchmark):
+    clauses = php_clauses(6)
+    status, _ = benchmark(solve_cnf, clauses)
+    assert status == UNSAT
+
+
+def test_sat_random_3cnf(benchmark):
+    clauses = random_cnf(1, 60, 250)  # near threshold ratio ~4.2
+    status, _ = benchmark(solve_cnf, clauses)
+    assert status in ("SAT", "UNSAT")
+
+
+def test_maxsat_linear_search(benchmark):
+    hard = [[1, 2], [-1, 3], [-2, -3]]
+    soft = [[-v] for v in range(1, 4)] + [[v] for v in range(1, 4)]
+    result = benchmark(solve_partial_maxsat, hard, soft)
+    assert result.satisfiable
+
+
+def test_aig_build_from_cnf(benchmark):
+    clauses = random_cnf(2, 40, 400)
+
+    def build():
+        return cnf_to_aig(clauses)
+
+    aig, root = benchmark(build)
+    assert aig.num_nodes > 0
+
+
+def test_aig_cofactor_chain(benchmark):
+    clauses = random_cnf(3, 30, 300)
+    aig, root = cnf_to_aig(clauses)
+
+    def quantify_five():
+        edge = root
+        for v in range(1, 6):
+            edge = aig.exists(edge, v)
+        return edge
+
+    benchmark(quantify_five)
+
+
+def test_aig_unit_pure_scan(benchmark):
+    clauses = random_cnf(4, 50, 600)
+    aig, root = cnf_to_aig(clauses)
+    info = benchmark(detect_unit_pure, aig, root)
+    assert info is not None
+
+
+def test_fraig_sweep(benchmark):
+    clauses = random_cnf(5, 20, 150)
+    aig, root = cnf_to_aig(clauses)
+    reduced, new_root = benchmark.pedantic(
+        lambda: fraig_root(aig, root), rounds=1, iterations=1
+    )
+    assert reduced.cone_size(new_root) <= aig.cone_size(root)

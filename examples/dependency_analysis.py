@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Step through HQS's pipeline on a Henkin-quantified formula.
+
+This example exposes the paper's machinery piece by piece instead of
+calling the one-shot solver: dependency graph construction
+(Definition 4), the cyclicity test (Theorems 3/4), the MaxSAT choice of
+a minimum elimination set (Eqs. 1-2), Theorem 1 elimination, and the
+final linearization to a QBF prefix.
+"""
+
+from repro.aig.cnf_bridge import cnf_to_aig
+from repro.core import (
+    dependency_edges,
+    eliminate_universal,
+    incomparable_pairs,
+    is_acyclic,
+    linearize,
+    select_elimination_set,
+)
+from repro.core.state import AigDqbf
+from repro.formula import Dqbf
+from repro.qbf import solve_aig_qbf
+
+
+def main() -> None:
+    # forall x1 x2 x3  exists y1(x1,x2) y2(x2,x3) y3(x1,x3):
+    # a "rock-paper-scissors" dependency structure — every pair of
+    # existentials is incomparable, so the dependency graph is maximally
+    # cyclic.  Matrix: each y_i must equal the parity of its two inputs.
+    x1, x2, x3, y1, y2, y3 = 1, 2, 3, 4, 5, 6
+    formula = Dqbf.build(
+        universals=[x1, x2, x3],
+        existentials=[(y1, [x1, x2]), (y2, [x2, x3]), (y3, [x1, x3])],
+        clauses=[
+            # y1 == x1 xor x2
+            [-y1, x1, x2], [-y1, -x1, -x2], [y1, x1, -x2], [y1, -x1, x2],
+            # y2 == x2 xor x3
+            [-y2, x2, x3], [-y2, -x2, -x3], [y2, x2, -x3], [y2, -x2, x3],
+            # y3 == x1 xor x3
+            [-y3, x1, x3], [-y3, -x1, -x3], [y3, x1, -x3], [y3, -x1, x3],
+        ],
+    )
+
+    # ------------------------------------------------------------------
+    # 1. Dependency graph (Definition 4) and the cyclicity test.
+    # ------------------------------------------------------------------
+    print("dependency graph edges (y_i -> y_l iff D_i not a subset of D_l):")
+    for a, b in dependency_edges(formula.prefix):
+        print(f"  y{a} -> y{b}")
+    print(f"acyclic (equivalent QBF prefix exists)? {is_acyclic(formula.prefix)}")
+    print(f"binary cycles C_psi: {incomparable_pairs(formula.prefix)}")
+
+    # ------------------------------------------------------------------
+    # 2. Minimum elimination set via partial MaxSAT (Eqs. 1-2).
+    # ------------------------------------------------------------------
+    selection = select_elimination_set(formula.prefix)
+    print(f"\nMaxSAT selection: eliminate {selection.variables} "
+          f"({selection.num_pairs} pairs, {selection.maxsat_time * 1000:.1f} ms)")
+
+    # ------------------------------------------------------------------
+    # 3. Eliminate the selected universals with Theorem 1 on the AIG.
+    # ------------------------------------------------------------------
+    aig, root = cnf_to_aig(formula.matrix.clauses)
+    state = AigDqbf(aig, root, formula.prefix.copy(), next_var=7)
+    print(f"\ninitial matrix: {state.matrix_size()} AND nodes")
+    for x in selection.variables:
+        copies = eliminate_universal(state, x)
+        print(
+            f"eliminated x{x}: {len(copies)} existential copies, "
+            f"matrix now {state.matrix_size()} AND nodes"
+        )
+    state.prune_prefix()
+    print(f"acyclic now? {is_acyclic(state.prefix)}")
+
+    # ------------------------------------------------------------------
+    # 4. Linearize (constructive Theorem 3) and hand to the QBF back-end.
+    # ------------------------------------------------------------------
+    blocked = linearize(state.prefix)
+    print(f"equivalent QBF prefix: {blocked}")
+    answer = solve_aig_qbf(state.aig, state.root, blocked)
+    print(f"QBF back-end answer: {'SAT' if answer else 'UNSAT'}")
+
+    # cross-check with the one-shot solver
+    from repro import solve_dqbf
+
+    print(f"solve_dqbf agrees: {solve_dqbf(formula).status}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Distributed strategies for incomplete-information games via DQBF.
+
+The paper's introduction names "the analysis of non-cooperative games
+with incomplete information" (Peterson, Reif, Azhar) as a DQBF
+application.  Here a team of players with *different partial views* of
+an adversary's choices must coordinate — each player's strategy is a
+Skolem function over its own observation, so distributed winnability is
+exactly DQBF satisfiability, and HQS doubles as a strategy synthesizer.
+"""
+
+import itertools
+
+from repro.games import BooleanGame, blind_coordination, matching_pennies_team
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Team matching pennies: the adversary hides two bits, player i
+    #    sees only bit i, and the XOR of the team's moves must equal the
+    #    XOR of the hidden bits.  With QBF one player would have to see
+    #    both bits; with DQBF the true observation structure is exact.
+    # ------------------------------------------------------------------
+    game = matching_pennies_team(2)
+    print(f"team matching pennies: {game}")
+    formula = game.to_dqbf()
+    print(f"  as DQBF: {formula.prefix!r}")
+    print(f"  QBF-expressible? {formula.is_qbf()}")
+    print(f"  winnable? {game.has_winning_strategy()}")
+
+    strategies = game.winning_strategies()
+    for name in sorted(strategies):
+        table = strategies[name]
+        rows = ", ".join(
+            f"{''.join(str(int(b)) for b in key)}->{int(value)}"
+            for key, value in sorted(table.as_full_table().items())
+        )
+        print(f"  strategy for {name}: {rows}")
+
+    print("  verifying on all plays:", end=" ")
+    wins = all(
+        game.play(strategies, dict(zip(["x0", "x1"], values)))
+        for values in itertools.product([False, True], repeat=2)
+    )
+    print("team wins every play!" if wins else "BUG")
+
+    # ------------------------------------------------------------------
+    # 2. Blind coordination: nobody sees the coin, so no strategy exists.
+    # ------------------------------------------------------------------
+    blind = blind_coordination(2)
+    print(f"\nblind coordination: winnable? {blind.has_winning_strategy()}")
+
+    # ------------------------------------------------------------------
+    # 3. A custom game: a relay.  The adversary picks (a, b); player one
+    #    sees a, player two sees b; they win iff exactly one move is
+    #    true when a == b, and both moves agree when a != b.
+    # ------------------------------------------------------------------
+    relay = BooleanGame(["a", "b"])
+    relay.add_player("p", ["a"])
+    relay.add_player("q", ["b"])
+    for va, vb in itertools.product([False, True], repeat=2):
+        for vp, vq in itertools.product([False, True], repeat=2):
+            good = (vp != vq) if va == vb else (vp == vq)
+            if not good:
+                relay.add_win_clause(
+                    ("a", not va), ("b", not vb), ("p", not vp), ("q", not vq)
+                )
+    print(f"\nrelay game winnable? {relay.has_winning_strategy()}")
+    strategies = relay.winning_strategies()
+    if strategies:
+        for name in sorted(strategies):
+            print(f"  {name}: {strategies[name].as_full_table()}")
+
+
+if __name__ == "__main__":
+    main()

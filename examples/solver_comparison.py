@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Mini Section-IV experiment: HQS vs iDQ vs expansion on fresh instances.
+
+Generates a small pool from the paper's benchmark families, runs all
+three solvers under a per-instance timeout and prints a compact version
+of Table I plus the Fig. 4 headline numbers.  For the full harness use::
+
+    python -m repro.experiments.table1
+    python -m repro.experiments.fig4
+    pytest benchmarks/ --benchmark-only
+"""
+
+from repro.baselines import IdqSolver, solve_expansion
+from repro.core import HqsSolver, Limits
+from repro.pec import generate_family
+
+FAMILIES = ("adder", "bitcell", "pec_xor", "z4")
+TIMEOUT = 5.0
+
+
+def main() -> None:
+    instances = []
+    for family in FAMILIES:
+        instances.extend(generate_family(family, count=3, scale=1.0, seed=99))
+
+    print(f"{'instance':<42} {'HQS':>14} {'IDQ':>14} {'EXPANSION':>14}")
+    wins = {"HQS": 0, "IDQ": 0, "EXPANSION": 0}
+    for instance in instances:
+        row = [f"{instance.name:<42}"]
+        timings = {}
+        for name, run in (
+            ("HQS", lambda f: HqsSolver().solve(f, Limits(time_limit=TIMEOUT))),
+            ("IDQ", lambda f: IdqSolver().solve(f, Limits(time_limit=TIMEOUT))),
+            ("EXPANSION", lambda f: solve_expansion(f, Limits(time_limit=TIMEOUT))),
+        ):
+            result = run(instance.formula.copy())
+            timings[name] = (result.status, result.runtime)
+            row.append(f"{result.status:>7} {result.runtime:5.2f}s")
+        print(" ".join(row))
+        solved = {n: s for n, (s, _) in timings.items() if s in ("SAT", "UNSAT")}
+        if solved:
+            fastest = min(solved, key=lambda n: timings[n][1])
+            wins[fastest] += 1
+
+    print("\nfastest-solver wins:", wins)
+    print("(the paper's Fig. 4: HQS below the diagonal on almost every instance)")
+
+
+if __name__ == "__main__":
+    main()

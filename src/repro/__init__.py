@@ -1,0 +1,54 @@
+"""repro — a reproduction of "Solving DQBF Through Quantifier Elimination".
+
+(Gitina, Wimmer, Reimer, Sauer, Scholl, Becker — DATE 2015.)
+
+The package provides:
+
+* :mod:`repro.core` — **HQS**, the elimination-based DQBF solver with
+  dependency-graph analysis, MaxSAT-selected minimum elimination sets
+  and AIG-level unit/pure detection;
+* :mod:`repro.formula` — DQBF/QBF/CNF containers and DQDIMACS I/O;
+* :mod:`repro.aig` — the And-Inverter-Graph engine (cofactor, compose,
+  quantification, FRAIG sweeping);
+* :mod:`repro.sat` / :mod:`repro.maxsat` — CDCL SAT and partial MaxSAT;
+* :mod:`repro.qbf` — the AIG-based QBF back-end plus a QDPLL oracle;
+* :mod:`repro.baselines` — iDQ-style instantiation and [10]-style
+  expansion baselines;
+* :mod:`repro.pec` — partial equivalence checking of incomplete
+  circuits: netlists, the PEC->DQBF encoding and benchmark families;
+* :mod:`repro.experiments` — harnesses regenerating Table I, Fig. 4 and
+  the in-text statistics.
+
+Quickstart::
+
+    from repro import Dqbf, solve_dqbf
+    formula = Dqbf.build(
+        universals=[1, 2],
+        existentials=[(3, [1]), (4, [2])],
+        clauses=[[-3, 1], [3, -1], [-4, 2], [4, -2]],
+    )
+    print(solve_dqbf(formula).status)   # "SAT"
+"""
+
+from .core.hqs import HqsOptions, HqsSolver, solve_dqbf
+from .core.result import Limits, SolveResult
+from .formula.dqbf import Dqbf
+from .formula.dqdimacs import load_dqdimacs, parse_dqdimacs, save_dqdimacs, write_dqdimacs
+from .formula.qbf import Qbf
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HqsOptions",
+    "HqsSolver",
+    "solve_dqbf",
+    "Limits",
+    "SolveResult",
+    "Dqbf",
+    "Qbf",
+    "load_dqdimacs",
+    "parse_dqdimacs",
+    "save_dqdimacs",
+    "write_dqdimacs",
+    "__version__",
+]

@@ -1,0 +1,41 @@
+"""And-Inverter Graph substrate (the ``aigpp`` stand-in)."""
+
+from .aiger import AigerError, load_aiger, parse_aiger, save_aiger, write_aiger
+from .cnf_bridge import aig_to_cnf, cnf_to_aig, is_satisfiable, is_tautology
+from .fraig import FraigOptions, fraig_root, simulate
+from .graph import (
+    FALSE,
+    TRUE,
+    Aig,
+    complement,
+    edge_of,
+    is_complemented,
+    node_of,
+)
+from .unitpure import UnitPureInfo, detect_unit_pure, find_pures, find_units
+
+__all__ = [
+    "AigerError",
+    "load_aiger",
+    "parse_aiger",
+    "save_aiger",
+    "write_aiger",
+    "Aig",
+    "FALSE",
+    "TRUE",
+    "complement",
+    "edge_of",
+    "is_complemented",
+    "node_of",
+    "aig_to_cnf",
+    "cnf_to_aig",
+    "is_satisfiable",
+    "is_tautology",
+    "FraigOptions",
+    "fraig_root",
+    "simulate",
+    "UnitPureInfo",
+    "detect_unit_pure",
+    "find_pures",
+    "find_units",
+]

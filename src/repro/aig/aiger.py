@@ -1,0 +1,172 @@
+"""ASCII AIGER (``aag``) reader/writer for combinational AIGs.
+
+AIGER is the de-facto exchange format of the AIG world (ABC, aigpp,
+model checkers).  Only the combinational subset is supported — latches
+are rejected — which is all the DQBF pipeline needs.
+
+Conventions match the AIGER spec: literal ``0`` is FALSE, ``1`` TRUE,
+inputs get literals ``2, 4, ...`` and AND gates follow.  On parsing,
+input *i* (1-based) becomes external variable ``i`` unless the symbol
+table provides ``i<pos> <number>`` entries with numeric names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .graph import FALSE, TRUE, Aig, complement, is_complemented, node_of
+
+
+class AigerError(ValueError):
+    """Raised on malformed AIGER input."""
+
+
+def write_aiger(
+    aig: Aig,
+    roots: Sequence[int],
+    comments: Sequence[str] = (),
+) -> str:
+    """Serialize the cones of ``roots`` in ASCII AIGER format.
+
+    Inputs are emitted in ascending order of their external variable
+    label; the symbol table records the labels so a round trip restores
+    them.
+    """
+    # collect the union of cones in topological order
+    seen: set = set()
+    order: List[int] = []
+    for root in roots:
+        for node in aig.cone_nodes(root):
+            if node not in seen:
+                seen.add(node)
+                order.append(node)
+
+    inputs = sorted(
+        (aig.input_label(n), n) for n in order if aig.is_input(n)
+    )
+    ands = [n for n in order if aig.is_and(n)]
+
+    # assign AIGER indices: inputs first, then AND gates
+    aiger_index: Dict[int, int] = {0: 0}
+    for position, (_label, node) in enumerate(inputs, start=1):
+        aiger_index[node] = position
+    next_index = len(inputs) + 1
+
+    def lit_of(edge: int) -> int:
+        index = aiger_index[node_of(edge)]
+        return 2 * index + (1 if is_complemented(edge) else 0)
+
+    and_lines: List[str] = []
+    for node in ands:
+        aiger_index[node] = next_index
+        next_index += 1
+        f0, f1 = aig.fanins(node)
+        lhs = 2 * aiger_index[node]
+        rhs = sorted((lit_of(f0), lit_of(f1)), reverse=True)
+        and_lines.append(f"{lhs} {rhs[0]} {rhs[1]}")
+
+    max_index = next_index - 1
+    lines = [f"aag {max_index} {len(inputs)} 0 {len(roots)} {len(ands)}"]
+    lines += [str(2 * aiger_index[node]) for _label, node in inputs]
+    lines += [str(lit_of(root)) for root in roots]
+    lines += and_lines
+    for position, (label, _node) in enumerate(inputs):
+        lines.append(f"i{position} {label}")
+    for position in range(len(roots)):
+        lines.append(f"o{position} o{position}")
+    if comments:
+        lines.append("c")
+        lines.extend(comments)
+    return "\n".join(lines) + "\n"
+
+
+def parse_aiger(text: str) -> Tuple[Aig, List[int], Dict[int, int]]:
+    """Parse ASCII AIGER into ``(aig, output_edges, input_labels)``.
+
+    ``input_labels`` maps input position (1-based) to the external
+    variable used in the returned AIG (taken from numeric ``i`` symbols
+    when present, else the position itself).
+    """
+    lines = [line.rstrip("\n") for line in text.splitlines()]
+    if not lines:
+        raise AigerError("empty input")
+    header = lines[0].split()
+    if len(header) != 6 or header[0] != "aag":
+        raise AigerError(f"malformed header {lines[0]!r} (only ASCII 'aag' supported)")
+    try:
+        max_index, num_inputs, num_latches, num_outputs, num_ands = map(int, header[1:])
+    except ValueError as exc:
+        raise AigerError("non-integer header field") from exc
+    if num_latches:
+        raise AigerError("latches are not supported (combinational AIGs only)")
+
+    body = lines[1:]
+    needed = num_inputs + num_outputs + num_ands
+    if len(body) < needed:
+        raise AigerError("truncated AIGER body")
+
+    input_lits = [_int(body[i]) for i in range(num_inputs)]
+    output_lits = [
+        _int(body[num_inputs + i]) for i in range(num_outputs)
+    ]
+    and_specs = []
+    for i in range(num_ands):
+        parts = body[num_inputs + num_outputs + i].split()
+        if len(parts) != 3:
+            raise AigerError(f"malformed AND line {body[num_inputs + num_outputs + i]!r}")
+        and_specs.append(tuple(map(int, parts)))
+
+    # symbol table: numeric input names override default labels
+    input_labels: Dict[int, int] = {i + 1: i + 1 for i in range(num_inputs)}
+    for line in body[needed:]:
+        if line == "c":
+            break
+        if line.startswith("i"):
+            try:
+                pos_text, name = line[1:].split(None, 1)
+                position = int(pos_text)
+                input_labels[position + 1] = int(name)
+            except ValueError:
+                continue  # non-numeric symbol: keep default
+
+    aig = Aig()
+    edge_of_lit: Dict[int, int] = {0: FALSE, 1: TRUE}
+    for position, lit in enumerate(input_lits, start=1):
+        if lit % 2 or lit == 0:
+            raise AigerError(f"invalid input literal {lit}")
+        edge = aig.var(input_labels[position])
+        edge_of_lit[lit] = edge
+        edge_of_lit[lit + 1] = complement(edge)
+
+    def resolve(lit: int) -> int:
+        edge = edge_of_lit.get(lit)
+        if edge is None:
+            raise AigerError(f"literal {lit} used before definition")
+        return edge
+
+    for lhs, rhs0, rhs1 in and_specs:
+        if lhs % 2 or lhs == 0:
+            raise AigerError(f"invalid AND lhs {lhs}")
+        edge = aig.land(resolve(rhs0), resolve(rhs1))
+        edge_of_lit[lhs] = edge
+        edge_of_lit[lhs + 1] = complement(edge)
+
+    outputs = [resolve(lit) for lit in output_lits]
+    return aig, outputs, input_labels
+
+
+def _int(line: str) -> int:
+    try:
+        return int(line.strip())
+    except ValueError as exc:
+        raise AigerError(f"expected integer line, got {line!r}") from exc
+
+
+def save_aiger(aig: Aig, roots: Sequence[int], path: str) -> None:
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(write_aiger(aig, roots))
+
+
+def load_aiger(path: str) -> Tuple[Aig, List[int], Dict[int, int]]:
+    with open(path, "r", encoding="ascii") as handle:
+        return parse_aiger(handle.read())

@@ -1,0 +1,112 @@
+"""Conversions between CNF and AIG.
+
+``cnf_to_aig`` builds the matrix AIG used by the DQBF/QBF solvers; the
+optional gate-substitution map lets the preprocessor inline Tseitin
+gates (Section III-C of the paper: "we replace all literals representing
+a gate output by the function computed by its gate using the compose
+operation").
+
+``aig_to_cnf`` is the classic Tseitin encoding, used whenever a SAT call
+on an AIG is needed (FRAIG sweeping, QBF endgame, constant checks).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..formula.cnf import Cnf
+from .graph import Aig, FALSE, TRUE, is_complemented, node_of
+
+
+def cnf_to_aig(clauses: Iterable[Iterable[int]], aig: Optional[Aig] = None) -> Tuple[Aig, int]:
+    """Build a balanced AND tree of clause disjunctions."""
+    aig = aig if aig is not None else Aig()
+    clause_edges: List[int] = []
+    for clause in clauses:
+        clause_edges.append(aig.lor_many(aig.literal(lit) for lit in clause))
+    return aig, aig.land_many(clause_edges)
+
+
+def aig_to_cnf(aig: Aig, root: int, start_var: Optional[int] = None) -> Tuple[Cnf, int]:
+    """Tseitin-encode the cone of ``root``.
+
+    Returns ``(cnf, root_literal)``: the CNF is equisatisfiable with the
+    function at ``root`` once ``root_literal`` is asserted (it is *not*
+    asserted by this function, so callers can encode several roots into
+    one CNF and combine them freely).  Input nodes keep their external
+    variable identifiers; internal AND nodes receive fresh variables
+    above ``start_var`` (default: the maximum input label occurring in
+    the cone — pass an explicit value whenever the caller's variable
+    space contains labels that might be absent from this particular
+    cone, otherwise auxiliaries would collide with them).
+    """
+    cone = aig.cone_nodes(root)
+    max_label = start_var or 0
+    for node in cone:
+        if aig.is_input(node):
+            max_label = max(max_label, aig.input_label(node))
+    cnf = Cnf(num_vars=max_label)
+
+    node_var: Dict[int, int] = {}
+
+    def lit_for(edge: int) -> int:
+        node = node_of(edge)
+        var = node_var[node]
+        return -var if is_complemented(edge) else var
+
+    for node in cone:
+        if node == 0:
+            # Constant false: introduce a variable forced to 0.
+            var = cnf.fresh_var()
+            cnf.add_clause([-var])
+            node_var[node] = var
+        elif aig.is_input(node):
+            node_var[node] = aig.input_label(node)
+        else:
+            var = cnf.fresh_var()
+            node_var[node] = var
+            f0, f1 = aig.fanins(node)
+            a, b = lit_for(f0), lit_for(f1)
+            cnf.add_clause([-var, a])
+            cnf.add_clause([-var, b])
+            cnf.add_clause([var, -a, -b])
+
+    if root == TRUE:
+        top = cnf.fresh_var()
+        cnf.add_clause([top])
+        return cnf, top
+    if root == FALSE:
+        top = cnf.fresh_var()
+        cnf.add_clause([-top])
+        return cnf, top
+    return cnf, lit_for(root)
+
+
+def is_satisfiable(aig: Aig, root: int, deadline: Optional[float] = None) -> bool:
+    """SAT check of the function at ``root`` (semantic constant-0 test).
+
+    Raises :class:`repro.errors.TimeoutExceeded` when ``deadline`` (a
+    ``time.monotonic`` timestamp) passes mid-solve.
+    """
+    if root == FALSE:
+        return False
+    if root == TRUE:
+        return True
+    from ..errors import TimeoutExceeded
+    from ..sat.solver import SAT, UNKNOWN, CdclSolver
+
+    cnf, root_lit = aig_to_cnf(aig, root)
+    solver = CdclSolver()
+    solver.add_clauses(cnf.clauses)
+    solver.add_clause([root_lit])
+    status = solver.solve(deadline=deadline)
+    if status == UNKNOWN:
+        raise TimeoutExceeded()
+    return status == SAT
+
+
+def is_tautology(aig: Aig, root: int, deadline: Optional[float] = None) -> bool:
+    """Semantic constant-1 test via one SAT call on the complement."""
+    from .graph import complement
+
+    return not is_satisfiable(aig, complement(root), deadline)

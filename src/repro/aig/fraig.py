@@ -1,0 +1,153 @@
+"""FRAIG-style functional reduction by simulation and SAT sweeping.
+
+A FRAIG (Mishchenko et al.) is an AIG in which no two nodes compute the
+same function up to complement.  We approximate the classical flow:
+
+1. simulate the whole graph under a batch of random input patterns,
+   hashing nodes into candidate equivalence classes by signature
+   (signatures are canonicalized up to complement);
+2. for each candidate pair, prove or refute equivalence with a SAT call
+   on a miter; counterexamples refine the simulation patterns;
+3. rebuild the graph, replacing every node by its class representative.
+
+HQS runs this "from time to time" between elimination steps to keep the
+matrix AIG small (Section II-C).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sat.solver import SAT, UNSAT, CdclSolver
+from .cnf_bridge import aig_to_cnf
+from .graph import Aig, FALSE, TRUE, complement, is_complemented, node_of
+
+
+class FraigOptions:
+    """Tunables for the sweeping pass."""
+
+    def __init__(
+        self,
+        num_patterns: int = 64,
+        max_sat_conflicts: int = 2000,
+        seed: int = 2015,
+    ):
+        self.num_patterns = num_patterns
+        self.max_sat_conflicts = max_sat_conflicts
+        self.seed = seed
+
+
+def simulate(aig: Aig, root: int, patterns: Dict[int, int], width: int) -> Dict[int, int]:
+    """Bit-parallel simulation of the cone of ``root``.
+
+    ``patterns`` maps external variables to ``width``-bit words; returns
+    the word computed at every node in the cone.
+    """
+    mask = (1 << width) - 1
+    words: Dict[int, int] = {}
+    for node in aig.cone_nodes(root):
+        if node == 0:
+            words[node] = 0
+        elif aig.is_input(node):
+            words[node] = patterns[aig.input_label(node)] & mask
+        else:
+            f0, f1 = aig.fanins(node)
+            w0 = words[node_of(f0)] ^ (mask if is_complemented(f0) else 0)
+            w1 = words[node_of(f1)] ^ (mask if is_complemented(f1) else 0)
+            words[node] = w0 & w1
+    return words
+
+
+def fraig_root(aig: Aig, root: int, options: Optional[FraigOptions] = None) -> Tuple[Aig, int]:
+    """Functionally reduce the cone of ``root``; returns a fresh manager.
+
+    The result computes the same function; equivalent (or antivalent)
+    internal nodes are merged when a SAT call proves the merge sound.
+    """
+    options = options or FraigOptions()
+    if root in (TRUE, FALSE):
+        return Aig(), root
+
+    rng = random.Random(options.seed)
+    support = sorted(aig.support(root))
+    width = options.num_patterns
+    patterns = {v: rng.getrandbits(width) for v in support}
+    words = simulate(aig, root, patterns, width)
+    mask = (1 << width) - 1
+
+    cnf, _root_lit = aig_to_cnf(aig, root)
+    solver = CdclSolver()
+    solver.add_clauses(cnf.clauses)
+    # Recover the node -> CNF variable map by re-deriving it the same way
+    # aig_to_cnf does (deterministic cone order).
+    node_var: Dict[int, int] = {}
+    max_label = max(
+        (aig.input_label(n) for n in aig.cone_nodes(root) if aig.is_input(n)),
+        default=0,
+    )
+    next_var = max_label
+    for node in aig.cone_nodes(root):
+        if node == 0:
+            next_var += 1
+            node_var[node] = next_var
+        elif aig.is_input(node):
+            node_var[node] = aig.input_label(node)
+        else:
+            next_var += 1
+            node_var[node] = next_var
+
+    # Candidate classes keyed by canonical signature.
+    representative: Dict[int, int] = {}  # node -> replacement edge (in new AIG terms)
+    classes: Dict[int, Tuple[int, bool]] = {}  # canon signature -> (repr node, repr phase)
+
+    fresh = Aig()
+    rebuilt: Dict[int, int] = {0: FALSE}
+
+    def node_edge(fanin: int) -> int:
+        return rebuilt[node_of(fanin)] ^ (fanin & 1)
+
+    for node in aig.cone_nodes(root):
+        if node == 0:
+            continue
+        if aig.is_input(node):
+            rebuilt[node] = fresh.var(aig.input_label(node))
+            continue
+        f0, f1 = aig.fanins(node)
+        candidate = fresh.land(node_edge(f0), node_edge(f1))
+        # canonical signature: choose phase so the lowest bit is 0
+        word = words[node]
+        phase = bool(word & 1)
+        canon = (word ^ mask) if phase else word
+        merged = False
+        if canon in classes:
+            other_node, other_phase = classes[canon]
+            # verify equivalence: node == other (xor phases) via SAT
+            same_phase = phase == other_phase
+            a, b = node_var[node], node_var[other_node]
+            eq = _prove_equal(solver, a, b, same_phase, options.max_sat_conflicts)
+            if eq:
+                other_edge = rebuilt[other_node]
+                rebuilt[node] = other_edge if same_phase else complement(other_edge)
+                merged = True
+        if not merged:
+            if canon not in classes:
+                classes[canon] = (node, phase)
+            rebuilt[node] = candidate
+
+    new_root = rebuilt[node_of(root)] ^ (root & 1)
+    compact, (final_root,) = fresh.extract([new_root])
+    return compact, final_root
+
+
+def _prove_equal(
+    solver: CdclSolver, a: int, b: int, same_phase: bool, conflict_limit: int
+) -> bool:
+    """Prove ``a == b`` (or ``a == !b`` when not ``same_phase``) under the
+    node-consistency CNF already loaded in ``solver``."""
+    b_pos = b if same_phase else -b
+    first = solver.solve([a, -b_pos], conflict_limit=conflict_limit)
+    if first != UNSAT:
+        return False
+    second = solver.solve([-a, b_pos], conflict_limit=conflict_limit)
+    return second == UNSAT

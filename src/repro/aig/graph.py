@@ -1,0 +1,262 @@
+"""Structurally hashed And-Inverter Graphs with complemented edges.
+
+The representation follows the AIGER convention: an *edge* is an integer
+``2*node + c`` where ``c`` is the complement bit; node ``0`` is the
+constant-false node, so edge ``0`` denotes FALSE and edge ``1`` TRUE.
+Input nodes carry an external variable label (the DIMACS variable of the
+formula layer); AND nodes have exactly two fanin edges.
+
+Structural hashing guarantees that no two AND nodes have the same
+(ordered) fanin pair, and one-level simplification rules
+(``x & x = x``, ``x & !x = 0``, constant folding) are applied on
+construction.  All heavy operations (cofactor, compose, quantification)
+are implemented as iterative rebuilds, so Python's recursion limit is
+never an issue even for deep graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+FALSE = 0
+TRUE = 1
+
+
+def edge_of(node: int, complemented: bool = False) -> int:
+    return (node << 1) | int(complemented)
+
+
+def node_of(edge: int) -> int:
+    return edge >> 1
+
+
+def is_complemented(edge: int) -> bool:
+    return bool(edge & 1)
+
+
+def complement(edge: int) -> int:
+    return edge ^ 1
+
+
+class Aig:
+    """An AIG manager holding a DAG of AND nodes over labelled inputs."""
+
+    _NO_FANIN = -1
+
+    def __init__(self) -> None:
+        # node 0 is the constant-false node
+        self._fanin0: List[int] = [self._NO_FANIN]
+        self._fanin1: List[int] = [self._NO_FANIN]
+        self._input_label: List[int] = [0]  # external var for inputs, 0 otherwise
+        self._input_node: Dict[int, int] = {}
+        self._strash: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # node construction
+    # ------------------------------------------------------------------
+    def var(self, external_var: int) -> int:
+        """Return the edge for an input labelled by ``external_var`` (creating it)."""
+        if external_var <= 0:
+            raise ValueError("external variables must be positive")
+        node = self._input_node.get(external_var)
+        if node is None:
+            node = self._new_node(self._NO_FANIN, self._NO_FANIN, external_var)
+            self._input_node[external_var] = node
+        return edge_of(node)
+
+    def literal(self, lit: int) -> int:
+        """Return the edge for a DIMACS literal."""
+        edge = self.var(abs(lit))
+        return complement(edge) if lit < 0 else edge
+
+    def land(self, a: int, b: int) -> int:
+        """AND of two edges with one-level simplification and strashing."""
+        if a == FALSE or b == FALSE or a == complement(b):
+            return FALSE
+        if a == TRUE:
+            return b
+        if b == TRUE or a == b:
+            return a
+        if a > b:
+            a, b = b, a
+        key = (a, b)
+        node = self._strash.get(key)
+        if node is None:
+            node = self._new_node(a, b, 0)
+            self._strash[key] = node
+        return edge_of(node)
+
+    def lor(self, a: int, b: int) -> int:
+        return complement(self.land(complement(a), complement(b)))
+
+    def lxor(self, a: int, b: int) -> int:
+        return self.lor(self.land(a, complement(b)), self.land(complement(a), b))
+
+    def lxnor(self, a: int, b: int) -> int:
+        return complement(self.lxor(a, b))
+
+    def lite(self, cond: int, then_edge: int, else_edge: int) -> int:
+        """If-then-else: ``cond ? then : else``."""
+        return self.lor(self.land(cond, then_edge), self.land(complement(cond), else_edge))
+
+    def land_many(self, edges: Iterable[int]) -> int:
+        """Balanced conjunction of arbitrarily many edges."""
+        work = list(edges)
+        if not work:
+            return TRUE
+        while len(work) > 1:
+            nxt = []
+            for i in range(0, len(work) - 1, 2):
+                nxt.append(self.land(work[i], work[i + 1]))
+            if len(work) % 2:
+                nxt.append(work[-1])
+            work = nxt
+        return work[0]
+
+    def lor_many(self, edges: Iterable[int]) -> int:
+        return complement(self.land_many(complement(e) for e in edges))
+
+    def _new_node(self, fanin0: int, fanin1: int, label: int) -> int:
+        self._fanin0.append(fanin0)
+        self._fanin1.append(fanin1)
+        self._input_label.append(label)
+        return len(self._fanin0) - 1
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def is_input(self, node: int) -> bool:
+        return node != 0 and self._fanin0[node] == self._NO_FANIN
+
+    def is_and(self, node: int) -> bool:
+        return self._fanin0[node] != self._NO_FANIN
+
+    def is_const(self, node: int) -> bool:
+        return node == 0
+
+    def fanins(self, node: int) -> Tuple[int, int]:
+        if not self.is_and(node):
+            raise ValueError(f"node {node} is not an AND node")
+        return self._fanin0[node], self._fanin1[node]
+
+    def input_label(self, node: int) -> int:
+        if not self.is_input(node):
+            raise ValueError(f"node {node} is not an input")
+        return self._input_label[node]
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count in the manager (including dead nodes)."""
+        return len(self._fanin0)
+
+    def cone_nodes(self, root: int) -> List[int]:
+        """Nodes in the transitive fanin cone of ``root`` (topological order)."""
+        seen: Set[int] = set()
+        order: List[int] = []
+        stack = [node_of(root)]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            if self.is_and(node):
+                f0, f1 = self._fanin0[node], self._fanin1[node]
+                pending = [n for n in (node_of(f0), node_of(f1)) if n not in seen]
+                if pending:
+                    stack.append(node)
+                    stack.extend(pending)
+                    continue
+            seen.add(node)
+            order.append(node)
+        return order
+
+    def cone_size(self, root: int) -> int:
+        """Number of AND nodes in the cone of ``root``."""
+        return sum(1 for n in self.cone_nodes(root) if self.is_and(n))
+
+    def support(self, root: int) -> Set[int]:
+        """External variables the function of ``root`` structurally depends on."""
+        return {
+            self._input_label[n] for n in self.cone_nodes(root) if self.is_input(n)
+        }
+
+    def evaluate(self, root: int, assignment: Dict[int, bool]) -> bool:
+        """Evaluate the function at ``root`` under an assignment of external vars."""
+        values: Dict[int, bool] = {0: False}
+        for node in self.cone_nodes(root):
+            if node == 0:
+                continue
+            if self.is_input(node):
+                values[node] = assignment[self._input_label[node]]
+            else:
+                f0, f1 = self._fanin0[node], self._fanin1[node]
+                v0 = values[node_of(f0)] ^ is_complemented(f0)
+                v1 = values[node_of(f1)] ^ is_complemented(f1)
+                values[node] = v0 and v1
+        return values[node_of(root)] ^ is_complemented(root)
+
+    # ------------------------------------------------------------------
+    # rebuild-based operations
+    # ------------------------------------------------------------------
+    def rebuild(
+        self,
+        roots: Sequence[int],
+        leaf_map: Dict[int, int],
+        target: Optional["Aig"] = None,
+    ) -> List[int]:
+        """Re-express ``roots`` with input nodes substituted via ``leaf_map``.
+
+        ``leaf_map`` maps *external variables* to replacement edges (in
+        ``target``, which defaults to ``self``).  Inputs not mentioned map
+        to themselves.  Returns the list of rebuilt root edges.
+        """
+        target = target if target is not None else self
+        cache: Dict[int, int] = {0: FALSE}  # node -> rebuilt edge (uncomplemented view)
+        for root in roots:
+            for node in self.cone_nodes(root):
+                if node in cache:
+                    continue
+                if self.is_input(node):
+                    label = self._input_label[node]
+                    if label in leaf_map:
+                        cache[node] = leaf_map[label]
+                    else:
+                        cache[node] = target.var(label)
+                else:
+                    f0, f1 = self._fanin0[node], self._fanin1[node]
+                    e0 = cache[node_of(f0)] ^ (f0 & 1)
+                    e1 = cache[node_of(f1)] ^ (f1 & 1)
+                    cache[node] = target.land(e0, e1)
+        return [cache[node_of(r)] ^ (r & 1) for r in roots]
+
+    def cofactor(self, root: int, var: int, value: bool) -> int:
+        """Shannon cofactor of ``root`` with respect to an external variable."""
+        return self.rebuild([root], {var: TRUE if value else FALSE})[0]
+
+    def compose(self, root: int, substitution: Dict[int, int]) -> int:
+        """Simultaneously substitute external variables by edges."""
+        return self.rebuild([root], dict(substitution))[0]
+
+    def rename(self, root: int, mapping: Dict[int, int]) -> int:
+        """Rename external variables (var -> var)."""
+        return self.rebuild([root], {v: self.var(w) for v, w in mapping.items()})[0]
+
+    def exists(self, root: int, var: int) -> int:
+        """Existential quantification of one external variable."""
+        return self.lor(self.cofactor(root, var, False), self.cofactor(root, var, True))
+
+    def forall(self, root: int, var: int) -> int:
+        """Universal quantification of one external variable."""
+        return self.land(self.cofactor(root, var, False), self.cofactor(root, var, True))
+
+    # ------------------------------------------------------------------
+    # compaction
+    # ------------------------------------------------------------------
+    def extract(self, roots: Sequence[int]) -> Tuple["Aig", List[int]]:
+        """Garbage-collect: copy only the cones of ``roots`` into a fresh manager."""
+        fresh = Aig()
+        new_roots = self.rebuild(roots, {}, target=fresh)
+        return fresh, new_roots
+
+    def __repr__(self) -> str:
+        ands = sum(1 for n in range(1, self.num_nodes) if self.is_and(n))
+        return f"Aig(inputs={len(self._input_node)}, ands={ands})"

@@ -1,0 +1,124 @@
+"""Syntactic unit and pure variable detection on AIGs (Theorem 6).
+
+The paper replaces the classical CNF criteria (Lemma 2) with a linear
+AIG traversal:
+
+* ``v`` is **positive unit** if there is a path from the input node of
+  ``v`` to the output without any negation; **negative unit** if the
+  only negation on such a path sits directly on the edge leaving the
+  input node.  Operationally: walk the top-level conjunction cone of
+  the output (descend through AND nodes along *uncomplemented* edges
+  only) and look at the input nodes hanging off it.
+* ``v`` is **positive pure** if the number of negations on *all* paths
+  from its input node to the output is even, **negative pure** if it is
+  odd on all paths.  Operationally: propagate reachability parities top
+  down; an input reached under exactly one parity is pure.
+
+Both checks are sufficient but not necessary (cf. Example 4); the cost
+is ``O(|phi| + |V|)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from .graph import Aig, FALSE, TRUE, is_complemented, node_of
+
+
+class UnitPureInfo:
+    """Result of a detection pass.
+
+    ``units`` maps variables to the polarity of the *unit literal*
+    (``True`` means the positive literal is implied, i.e. the variable
+    must be 1 in every satisfying assignment).  ``pures`` maps variables
+    to the polarity in which they occur.
+    """
+
+    def __init__(self, units: Dict[int, bool], pures: Dict[int, bool]):
+        self.units = units
+        self.pures = pures
+
+    def __bool__(self) -> bool:
+        return bool(self.units) or bool(self.pures)
+
+    def __repr__(self) -> str:
+        return f"UnitPureInfo(units={self.units}, pures={self.pures})"
+
+
+def find_units(aig: Aig, root: int) -> Dict[int, bool]:
+    """Variables implied to a constant in every model of ``root`` (syntactic).
+
+    Returns ``{var: forced_value}``.
+    """
+    units: Dict[int, bool] = {}
+    if root in (TRUE, FALSE):
+        return units
+    node = node_of(root)
+    if is_complemented(root):
+        # phi = !n.  Only when n is an input is a (negative) unit visible.
+        if aig.is_input(node):
+            units[aig.input_label(node)] = False
+        return units
+    # Walk the top-level conjunction: descend through uncomplemented AND edges.
+    stack = [node]
+    seen: Set[int] = set()
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        if aig.is_input(node):
+            units[aig.input_label(node)] = True
+            continue
+        if not aig.is_and(node):
+            continue
+        for fanin in aig.fanins(node):
+            child = node_of(fanin)
+            if is_complemented(fanin):
+                # A single negation right above an input node: negative unit.
+                if aig.is_input(child):
+                    units[aig.input_label(child)] = False
+            else:
+                stack.append(child)
+    return units
+
+
+def find_pures(aig: Aig, root: int) -> Dict[int, bool]:
+    """Variables occurring in only one phase in the cone of ``root`` (syntactic).
+
+    Returns ``{var: polarity}`` with ``True`` = positive pure (even
+    negation count on all paths) and ``False`` = negative pure.
+    """
+    pures: Dict[int, bool] = {}
+    if root in (TRUE, FALSE):
+        return pures
+    # parities[node] is a bitmask: 1 = reachable with even #negations,
+    # 2 = reachable with odd #negations.
+    parities: Dict[int, int] = {}
+    start = node_of(root)
+    start_parity = 1 if is_complemented(root) else 0
+    parities[start] = 1 << start_parity
+    worklist = [(start, start_parity)]
+    while worklist:
+        node, parity = worklist.pop()
+        if not aig.is_and(node):
+            continue
+        for fanin in aig.fanins(node):
+            child = node_of(fanin)
+            child_parity = parity ^ (1 if is_complemented(fanin) else 0)
+            mask = 1 << child_parity
+            if parities.get(child, 0) & mask:
+                continue
+            parities[child] = parities.get(child, 0) | mask
+            worklist.append((child, child_parity))
+    for node, mask in parities.items():
+        if aig.is_input(node) and mask in (1, 2):
+            pures[aig.input_label(node)] = mask == 1
+    return pures
+
+
+def detect_unit_pure(aig: Aig, root: int) -> UnitPureInfo:
+    """Run both syntactic checks; unit findings take precedence over pure."""
+    units = find_units(aig, root)
+    pures = {v: p for v, p in find_pures(aig, root).items() if v not in units}
+    return UnitPureInfo(units, pures)

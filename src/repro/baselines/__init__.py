@@ -1,0 +1,19 @@
+"""Baseline DQBF solvers: the three paradigms of Section II.
+
+* elimination-based ([10]) — :mod:`repro.baselines.expansion`
+* instantiation-based (iDQ [16]) — :mod:`repro.baselines.idq`
+* search-based ([14]) — :mod:`repro.baselines.dpll`
+"""
+
+from .dpll import DpllDqbfSolver, solve_dpll_dqbf
+from .expansion import expansion_options, solve_expansion
+from .idq import IdqSolver, IdqStats
+
+__all__ = [
+    "DpllDqbfSolver",
+    "solve_dpll_dqbf",
+    "expansion_options",
+    "solve_expansion",
+    "IdqSolver",
+    "IdqStats",
+]

@@ -1,0 +1,261 @@
+"""An instantiation-based DQBF solver in the spirit of iDQ [16].
+
+iDQ lifts the Inst-Gen calculus to DQBF: it maintains a set of *ground
+instances* of the CNF matrix, obtained by assigning the universal
+variables; existential literals are annotated with the assignment
+restricted to their dependency set, so instances that must share a
+Skolem value share a propositional atom.  A SAT solver works on the
+ground set; UNSAT of the ground set refutes the DQBF, while a model is
+checked for genuine totality and otherwise drives the next
+instantiation round.
+
+Our reimplementation makes the model-extension rule concrete (classic
+Inst-Gen leaves it to literal selection): a candidate model ``M`` of the
+ground set is extended to *total* Skolem functions by defaulting every
+undefined table entry to ``False``, i.e.
+
+    s_y(tau) = M[y@tau]  if the atom exists,  else False.
+
+The verification step asks a SAT solver for a universal assignment
+falsifying the matrix under these total Skolem functions (encoded by
+composing the Skolem cubes into the matrix AIG).  If none exists the
+DQBF is satisfied — the Skolem functions are a witness; otherwise the
+counterexample assignment is instantiated and the loop continues.
+Counterexamples are always fresh assignments, so the loop terminates.
+
+The qualitative behaviour matches the paper's observations: instances
+that are refuted by the very first ground set ("a single SAT solver
+call", Section IV) are fast, while families that need many
+instantiations blow up — exactly where HQS wins by orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..aig.cnf_bridge import aig_to_cnf, cnf_to_aig
+from ..aig.graph import Aig, FALSE, TRUE, complement
+from ..core.result import (
+    MEMOUT,
+    SAT,
+    TIMEOUT,
+    UNSAT,
+    Limits,
+    NodeLimitExceeded,
+    SolveResult,
+    TimeoutExceeded,
+)
+from ..formula.dqbf import Dqbf
+from ..formula.lits import var_of
+from ..sat.solver import SAT as SAT_STATUS
+from ..sat.solver import UNSAT as UNSAT_STATUS
+from ..sat.solver import CdclSolver
+
+
+class IdqStats:
+    """Counters of the instantiation loop."""
+
+    def __init__(self) -> None:
+        self.instantiation_rounds = 0
+        self.ground_clauses = 0
+        self.atoms = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class IdqSolver:
+    """Instantiation-based solver; create one per formula.
+
+    ``counterexample_batch`` controls how many refuting universal
+    assignments each verification round harvests (by blocking found
+    models and re-solving): larger batches cut the number of rounds on
+    instantiation-heavy instances at the cost of bigger ground sets.
+    """
+
+    def __init__(self, counterexample_batch: int = 8) -> None:
+        self.stats = IdqStats()
+        self.counterexample_batch = max(1, counterexample_batch)
+        self._skolem_tables = None
+
+    def skolem_functions(self):
+        """Skolem certificate from the last SAT answer (or ``None``).
+
+        Returns ``{existential: SkolemTable}`` — the candidate model that
+        survived the final verification round, with undefined rows
+        defaulting to False (the extension rule of the main loop).
+        """
+        return self._skolem_tables
+
+    def solve(self, formula: Dqbf, limits: Optional[Limits] = None) -> SolveResult:
+        limits = limits or Limits()
+        limits.restart_clock()
+        start = time.monotonic()
+        try:
+            answer = self._solve_inner(formula, limits)
+            status = SAT if answer else UNSAT
+        except TimeoutExceeded:
+            status = TIMEOUT
+        except NodeLimitExceeded:
+            status = MEMOUT
+        runtime = time.monotonic() - start
+        return SolveResult(status, runtime, self.stats.as_dict())
+
+    # ------------------------------------------------------------------
+    def _solve_inner(self, formula: Dqbf, limits: Limits) -> bool:
+        formula.validate()
+        prefix = formula.prefix
+        universals = prefix.universals
+        existentials = set(prefix.existentials)
+        deps = {y: tuple(sorted(prefix.dependencies(y))) for y in prefix.existentials}
+        clauses = formula.matrix.clauses
+        self._skolem_tables = None
+
+        if not clauses:
+            from ..core.skolem import SkolemTable
+
+            self._skolem_tables = {
+                y: SkolemTable(y, list(deps[y])) for y in prefix.existentials
+            }
+            return True
+
+        ground = CdclSolver()
+        atom_table: Dict[Tuple[int, Tuple[bool, ...]], int] = {}
+
+        def atom(y: int, sigma: Dict[int, bool]) -> int:
+            key = (y, tuple(sigma[x] for x in deps[y]))
+            var = atom_table.get(key)
+            if var is None:
+                var = ground.new_var()
+                atom_table[key] = var
+            return var
+
+        def instantiate(sigma: Dict[int, bool]) -> bool:
+            """Add all clause instances under ``sigma``; False on empty clause."""
+            ok = True
+            for clause in clauses:
+                ground_clause: List[int] = []
+                satisfied = False
+                for lit in clause:
+                    v = var_of(lit)
+                    if v in existentials:
+                        a = atom(v, sigma)
+                        ground_clause.append(a if lit > 0 else -a)
+                    else:
+                        if (lit > 0) == sigma[v]:
+                            satisfied = True
+                            break
+                if satisfied:
+                    continue
+                if not ground_clause:
+                    ok = False
+                    continue
+                ground.add_clause(ground_clause)
+                self.stats.ground_clauses += 1
+            return ok
+
+        # Matrix AIG over original variables, used by the verification step.
+        matrix_aig, matrix_root = cnf_to_aig(clauses)
+
+        sigma0 = {x: False for x in universals}
+        if not instantiate(sigma0):
+            return False
+
+        while True:
+            limits.check_time()
+            self.stats.instantiation_rounds += 1
+            self.stats.atoms = len(atom_table)
+            ground_status = ground.solve(deadline=limits.deadline())
+            if ground_status not in (SAT_STATUS, UNSAT_STATUS):
+                raise TimeoutExceeded()
+            if ground_status == UNSAT_STATUS:
+                # The ground set is implied by the DQBF's expansion.
+                return False
+            model = ground.model()
+
+            counterexamples = self._find_counterexamples(
+                matrix_aig, matrix_root, universals, deps, atom_table, model, limits
+            )
+            if not counterexamples:
+                self._skolem_tables = self._build_skolem(deps, atom_table, model)
+                return True
+            for sigma in counterexamples:
+                if not instantiate(sigma):
+                    return False
+
+    # ------------------------------------------------------------------
+    def _build_skolem(self, deps, atom_table, model):
+        """Turn the surviving ground model into Skolem truth tables."""
+        from ..core.skolem import SkolemTable
+
+        tables = {
+            y: SkolemTable(y, list(dep_list)) for y, dep_list in deps.items()
+        }
+        for (y, values), atom_var in atom_table.items():
+            # atom keys follow deps[y] order, which is sorted already
+            tables[y].table[values] = model.get(atom_var, False)
+        return tables
+
+    # ------------------------------------------------------------------
+    def _find_counterexamples(
+        self,
+        matrix_aig: Aig,
+        matrix_root: int,
+        universals: List[int],
+        deps: Dict[int, Tuple[int, ...]],
+        atom_table: Dict[Tuple[int, Tuple[bool, ...]], int],
+        model: Dict[int, bool],
+        limits: Limits,
+    ) -> List[Dict[int, bool]]:
+        """SAT query for universal assignments falsified by the candidate
+        (default-False-extended) Skolem functions.
+
+        Returns up to ``counterexample_batch`` distinct assignments
+        (found by blocking each model and re-solving); an empty list
+        certifies the candidate and means SAT.
+        """
+        # Build each Skolem function as an OR of the defined cubes with value 1.
+        skolem: Dict[int, int] = {}
+        for (y, values), atom_var in atom_table.items():
+            if not model.get(atom_var, False):
+                continue
+            cube = TRUE
+            for x, value in zip(deps[y], values):
+                edge = matrix_aig.var(x)
+                cube = matrix_aig.land(cube, edge if value else complement(edge))
+            skolem[y] = matrix_aig.lor(skolem.get(y, FALSE), cube)
+        for y in deps:
+            skolem.setdefault(y, FALSE)
+
+        composed = matrix_aig.compose(matrix_root, skolem)
+        negated = complement(composed)
+        if negated == FALSE:
+            return []
+
+        limits.check_time()
+        max_var = max(universals, default=0)
+        cnf, root_lit = aig_to_cnf(matrix_aig, negated, start_var=max_var)
+        solver = CdclSolver()
+        solver.add_clauses(cnf.clauses)
+        solver.add_clause([root_lit])
+        solver.ensure_vars(max_var)
+
+        found: List[Dict[int, bool]] = []
+        for _round in range(self.counterexample_batch):
+            status = solver.solve(deadline=limits.deadline())
+            if status == UNSAT_STATUS:
+                break
+            if status != SAT_STATUS:
+                if found:
+                    break  # use what we have; timeout handled next round
+                raise TimeoutExceeded()
+            counter_model = solver.model()
+            sigma = {x: counter_model.get(x, False) for x in universals}
+            found.append(sigma)
+            # block this universal assignment and look for another
+            blocking = [(-x if sigma[x] else x) for x in universals]
+            if not blocking or not solver.add_clause(blocking):
+                break
+        return found

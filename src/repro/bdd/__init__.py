@@ -1,0 +1,6 @@
+"""ROBDD substrate: the representation the paper compares AIGs against."""
+
+from .graph import Bdd, cnf_to_bdd
+from .solver import BddEliminationSolver, solve_bdd
+
+__all__ = ["Bdd", "cnf_to_bdd", "BddEliminationSolver", "solve_bdd"]

@@ -1,0 +1,134 @@
+"""Command-line interface: solve DQDIMACS files with HQS or the baselines.
+
+Usage::
+
+    hqs problem.dqdimacs                  # solve with HQS
+    hqs --solver idq problem.dqdimacs     # solve with the iDQ baseline
+    hqs --timeout 60 --stats problem.dqdimacs
+
+Exit codes follow the (D)QBF-solver convention: 10 = SAT, 20 = UNSAT,
+0 = inconclusive (timeout/memout).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .baselines.expansion import solve_expansion
+from .baselines.idq import IdqSolver
+from .core.hqs import HqsOptions, HqsSolver
+from .core.result import Limits, SAT, UNSAT
+from .formula.dqdimacs import load_dqdimacs
+
+EXIT_SAT = 10
+EXIT_UNSAT = 20
+EXIT_UNKNOWN = 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hqs",
+        description="HQS: solving DQBF through quantifier elimination (DATE'15 reproduction)",
+    )
+    parser.add_argument("file", help="DQDIMACS input file")
+    parser.add_argument(
+        "--solver",
+        choices=("hqs", "idq", "expansion"),
+        default="hqs",
+        help="solver backend (default: hqs)",
+    )
+    parser.add_argument("--timeout", type=float, default=None, help="time limit in seconds")
+    parser.add_argument(
+        "--node-limit", type=int, default=None, help="AIG node budget (memout stand-in)"
+    )
+    parser.add_argument("--stats", action="store_true", help="print solver statistics")
+    parser.add_argument(
+        "--no-preprocessing", action="store_true", help="disable CNF preprocessing"
+    )
+    parser.add_argument(
+        "--no-unit-pure", action="store_true", help="disable unit/pure detection"
+    )
+    parser.add_argument(
+        "--no-maxsat", action="store_true", help="disable MaxSAT elimination-set selection"
+    )
+    parser.add_argument(
+        "--no-qbf", action="store_true", help="disable the QBF back-end (expand everything)"
+    )
+    parser.add_argument(
+        "--sat-probe",
+        action="store_true",
+        help="refute via one SAT call on the all-zero branch first (Sec. IV suggestion)",
+    )
+    parser.add_argument(
+        "--certificate",
+        action="store_true",
+        help="on SAT, extract and verify Skolem functions (instantiation-based)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print a trace of the solving pipeline (HQS only)",
+    )
+    parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help="print dependency-structure metrics before solving",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    formula = load_dqdimacs(args.file)
+    limits = Limits(time_limit=args.timeout, node_limit=args.node_limit)
+
+    if args.analyze:
+        from .core.depgraph import analyze_prefix
+
+        for key, value in analyze_prefix(formula.prefix).as_dict().items():
+            print(f"c {key} = {value}")
+
+    if args.solver == "idq":
+        result = IdqSolver().solve(formula, limits)
+    elif args.solver == "expansion":
+        result = solve_expansion(formula, limits)
+    else:
+        options = HqsOptions(
+            use_preprocessing=not args.no_preprocessing,
+            use_unit_pure=not args.no_unit_pure,
+            use_maxsat_selection=not args.no_maxsat,
+            use_qbf_backend=not args.no_qbf,
+            use_sat_probe=args.sat_probe,
+        )
+        solver = HqsSolver(options, trace=args.verbose)
+        result = solver.solve(formula, limits)
+        for line in solver.trace:
+            print(f"c {line}")
+
+    print(f"s cnf {result.status} ({result.runtime:.3f}s)")
+    if args.certificate and result.status == SAT:
+        from .core.skolem import extract_certificate
+
+        cert_result, tables = extract_certificate(load_dqdimacs(args.file), limits)
+        if tables is not None:
+            print("c Skolem certificate (verified):")
+            for y in sorted(tables):
+                table = tables[y]
+                rows = sum(1 for v in table.as_full_table().values() if v)
+                print(f"c   y{y}({','.join(map(str, table.deps))}): {rows} true rows")
+        else:
+            print(f"c certificate extraction inconclusive ({cert_result.status})")
+    if args.stats:
+        for key in sorted(result.stats):
+            print(f"c {key} = {result.stats[key]}")
+    if result.status == SAT:
+        return EXIT_SAT
+    if result.status == UNSAT:
+        return EXIT_UNSAT
+    return EXIT_UNKNOWN
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""HQS: the elimination-based DQBF solver (the paper's contribution)."""
+
+from .depgraph import (
+    PrefixAnalysis,
+    analyze_prefix,
+    dependency_edges,
+    incomparable_pairs,
+    is_acyclic,
+    linearize,
+)
+from .elimination import (
+    eliminable_existentials,
+    eliminate_existential,
+    eliminate_universal,
+    universal_elimination_cost,
+)
+from .hqs import HqsOptions, HqsSolver, solve_dqbf
+from .preprocess import Gate, PreprocessResult, PreprocessStats, preprocess
+from .result import (
+    MEMOUT,
+    SAT,
+    TIMEOUT,
+    UNKNOWN,
+    UNSAT,
+    Limits,
+    NodeLimitExceeded,
+    SolveResult,
+    TimeoutExceeded,
+)
+from .selection import SelectionResult, order_by_copy_cost, select_elimination_set
+from .skolem import SkolemTable, extract_certificate, verify_skolem
+from .state import AigDqbf
+from .unitpure import UnitPureStats, apply_unit_pure
+
+__all__ = [
+    "PrefixAnalysis",
+    "analyze_prefix",
+    "dependency_edges",
+    "incomparable_pairs",
+    "is_acyclic",
+    "linearize",
+    "eliminable_existentials",
+    "eliminate_existential",
+    "eliminate_universal",
+    "universal_elimination_cost",
+    "HqsOptions",
+    "HqsSolver",
+    "solve_dqbf",
+    "Gate",
+    "PreprocessResult",
+    "PreprocessStats",
+    "preprocess",
+    "SAT",
+    "UNSAT",
+    "TIMEOUT",
+    "MEMOUT",
+    "UNKNOWN",
+    "Limits",
+    "SolveResult",
+    "NodeLimitExceeded",
+    "TimeoutExceeded",
+    "SelectionResult",
+    "order_by_copy_cost",
+    "select_elimination_set",
+    "AigDqbf",
+    "UnitPureStats",
+    "apply_unit_pure",
+    "SkolemTable",
+    "extract_certificate",
+    "verify_skolem",
+]

@@ -1,0 +1,111 @@
+"""Variable elimination on the AIG-backed DQBF state (Theorems 1 and 2).
+
+*Universal elimination* (Theorem 1) replaces
+
+    forall x ... : phi
+
+by ``phi[0/x] ∧ phi[1/x][y'/y for y in E_x]`` where ``E_x`` are the
+existential variables depending on ``x``; each gets a fresh copy ``y'``
+with dependency set ``D_y \\ {x}`` in the 1-cofactor.  This is the step
+that can blow up the formula — HQS therefore eliminates only a minimum
+set of universals (see :mod:`repro.core.selection`).
+
+*Existential elimination* (Theorem 2) is the cheap dual: when ``y``
+depends on *all* universal variables of the formula it can be
+eliminated as in QBF by ``phi[0/y] ∨ phi[1/y]`` without any copies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..aig.graph import complement
+from .state import AigDqbf
+
+
+def eliminate_universal(state: AigDqbf, x: int) -> Dict[int, int]:
+    """Apply Theorem 1 to ``x``; returns the ``{y: y'}`` copy map."""
+    if not state.prefix.is_universal(x):
+        raise ValueError(f"{x} is not a universal variable")
+    aig = state.aig
+    dependents = state.prefix.dependents_of(x)
+
+    cofactor0 = aig.cofactor(state.root, x, False)
+    cofactor1 = aig.cofactor(state.root, x, True)
+
+    copies: Dict[int, int] = {}
+    # Only rename variables that actually occur in the 1-cofactor; the
+    # others need no copy (their two copies would be mergeable anyway,
+    # and skipping them keeps the formula small).
+    support1 = aig.support(cofactor1) if cofactor1 > 1 else set()
+    for y in dependents:
+        if y in support1:
+            copies[y] = state.fresh_var()
+    if copies:
+        cofactor1 = aig.rename(cofactor1, copies)
+
+    state.root = aig.land(cofactor0, cofactor1)
+    # Prefix update: new copies inherit D_y minus x, then x disappears
+    # from every dependency set.
+    for y, y_copy in copies.items():
+        state.prefix.add_existential(y_copy, state.prefix.dependencies(y) - {x})
+    state.prefix.remove_universal(x)
+    return copies
+
+
+def eliminate_existential(state: AigDqbf, y: int) -> None:
+    """Apply Theorem 2 to ``y`` (requires ``D_y`` = all universals)."""
+    prefix = state.prefix
+    if not prefix.is_existential(y):
+        raise ValueError(f"{y} is not an existential variable")
+    if prefix.dependencies(y) != frozenset(prefix.universals):
+        raise ValueError(
+            f"existential {y} does not depend on all universal variables"
+        )
+    aig = state.aig
+    cofactor0 = aig.cofactor(state.root, y, False)
+    cofactor1 = aig.cofactor(state.root, y, True)
+    state.root = aig.lor(cofactor0, cofactor1)
+    prefix.remove_existential(y)
+
+
+def eliminable_existentials(state: AigDqbf) -> List[int]:
+    """Existential variables currently eligible for Theorem 2."""
+    prefix = state.prefix
+    all_universals = frozenset(prefix.universals)
+    return [
+        y for y in prefix.existentials if prefix.dependencies(y) == all_universals
+    ]
+
+
+def universal_elimination_cost(state: AigDqbf, x: int) -> int:
+    """Number of existential copies Theorem 1 would introduce for ``x``."""
+    return len(state.prefix.dependents_of(x))
+
+
+def universal_growth_estimate(state: AigDqbf, x: int) -> int:
+    """Estimated AIG growth of eliminating ``x``: the number of AND nodes
+    in the live cone that structurally depend on ``x``.
+
+    Those are exactly the nodes the two cofactors cannot share, so the
+    count upper-bounds the duplication Theorem 1 causes.  This is the
+    "more sophisticated ordering" direction named as future work in the
+    paper's conclusion; exposed via ``HqsOptions(elimination_order)``.
+    """
+    aig = state.aig
+    if state.root in (0, 1):
+        return 0
+    depends: dict = {}
+    count = 0
+    for node in aig.cone_nodes(state.root):
+        if aig.is_input(node):
+            depends[node] = aig.input_label(node) == x
+        elif aig.is_and(node):
+            f0, f1 = aig.fanins(node)
+            value = depends[f0 >> 1] or depends[f1 >> 1]
+            depends[node] = value
+            if value:
+                count += 1
+        else:
+            depends[node] = False
+    return count

@@ -1,0 +1,367 @@
+"""HQS — the paper's elimination-based DQBF solver (Fig. 3).
+
+The pipeline:
+
+1. CNF preprocessing (units, universal reduction, equivalences, Tseitin
+   gate detection) — :mod:`repro.core.preprocess`;
+2. AIG construction with gate inlining via ``compose``;
+3. MaxSAT selection of a minimum universal elimination set —
+   :mod:`repro.core.selection`;
+4. main loop: unit/pure elimination on the AIG (Theorems 5/6),
+   Theorem 2 existential elimination, Theorem 1 universal elimination of
+   the selected variables (cheapest first) while the dependency graph is
+   cyclic;
+5. once acyclic: linearize the prefix (Theorem 3) and hand the AIG to
+   the QBF back-end — :mod:`repro.qbf.aigsolve`.
+
+Every optimization can be switched off through :class:`HqsOptions`,
+which is how the ablation benchmarks and the [10]-style expansion
+baseline are realized.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Set
+
+from ..aig.cnf_bridge import cnf_to_aig, is_satisfiable
+from ..aig.fraig import FraigOptions, fraig_root
+from ..aig.graph import FALSE, TRUE, Aig, complement
+from ..formula.dqbf import Dqbf
+from ..formula.lits import var_of
+from ..qbf.aigsolve import QbfSolverStats, solve_aig_qbf
+from .depgraph import incomparable_pairs, is_acyclic, linearize
+from .elimination import eliminable_existentials, eliminate_existential, eliminate_universal
+from .preprocess import Gate, preprocess
+from .result import (
+    MEMOUT,
+    SAT,
+    TIMEOUT,
+    UNSAT,
+    Limits,
+    NodeLimitExceeded,
+    SolveResult,
+    TimeoutExceeded,
+)
+from .selection import order_by_copy_cost, select_elimination_set
+from .state import AigDqbf
+from .unitpure import UnitPureStats, apply_unit_pure
+
+
+class HqsOptions:
+    """Feature switches for HQS (all on by default, as in the paper)."""
+
+    def __init__(
+        self,
+        use_preprocessing: bool = True,
+        use_gate_detection: bool = True,
+        use_unit_pure: bool = True,
+        use_maxsat_selection: bool = True,
+        use_qbf_backend: bool = True,
+        use_sat_probe: bool = False,
+        elimination_order: str = "copies",
+        fraig_interval: int = 0,
+        compact_ratio: int = 4,
+    ):
+        self.use_preprocessing = use_preprocessing
+        self.use_gate_detection = use_gate_detection
+        self.use_unit_pure = use_unit_pure
+        self.use_maxsat_selection = use_maxsat_selection
+        self.use_qbf_backend = use_qbf_backend
+        # The improvement suggested at the end of Section IV: one SAT call
+        # on the all-zero universal branch catches the instances iDQ
+        # refutes with a single ground solve.  Off by default, matching
+        # the evaluated HQS configuration.
+        self.use_sat_probe = use_sat_probe
+        # "copies" orders elimination candidates by the number of
+        # existential copies (the paper's heuristic); "growth" by the
+        # estimated AIG duplication (the conclusion's future-work
+        # direction, cf. elimination.universal_growth_estimate).
+        if elimination_order not in ("copies", "growth"):
+            raise ValueError(f"unknown elimination order {elimination_order!r}")
+        self.elimination_order = elimination_order
+        self.fraig_interval = fraig_interval
+        self.compact_ratio = compact_ratio
+
+
+class HqsSolver:
+    """One-shot solver object; create per formula.
+
+    With ``trace=True`` the solver records a human-readable event list
+    (`solver.trace`) describing every pipeline stage: preprocessing
+    outcome, MaxSAT selection, each elimination with the matrix size it
+    produced, and the endgame taken — the paper's Fig. 3 as a log.
+    """
+
+    def __init__(self, options: Optional[HqsOptions] = None, trace: bool = False):
+        self.options = options or HqsOptions()
+        self.stats: Dict[str, float] = {}
+        self.trace: List[str] = []
+        self._tracing = trace
+
+    def _trace(self, message: str) -> None:
+        if self._tracing:
+            self.trace.append(message)
+
+    # ------------------------------------------------------------------
+    def solve(self, formula: Dqbf, limits: Optional[Limits] = None) -> SolveResult:
+        limits = limits or Limits()
+        limits.restart_clock()
+        self.stats = {}
+        self.trace = []
+        start = time.monotonic()
+        try:
+            answer = self._solve_inner(formula, limits)
+            status = SAT if answer else UNSAT
+        except TimeoutExceeded:
+            status = TIMEOUT
+        except NodeLimitExceeded:
+            status = MEMOUT
+        runtime = time.monotonic() - start
+        return SolveResult(status, runtime, dict(self.stats))
+
+    # ------------------------------------------------------------------
+    def _solve_inner(self, formula: Dqbf, limits: Limits) -> bool:
+        options = self.options
+        formula.validate()
+
+        gates: List[Gate] = []
+        if options.use_preprocessing:
+            pre = preprocess(formula, detect_gates=options.use_gate_detection)
+            self.stats.update({f"pre_{k}": v for k, v in pre.stats.as_dict().items()})
+            if pre.status is not None:
+                self._trace(f"preprocessing decided the formula: {pre.status}")
+                return pre.status
+            self._trace(
+                f"preprocessing: {pre.stats.units_propagated} units, "
+                f"{pre.stats.universal_reductions} universal reductions, "
+                f"{pre.stats.equivalences_substituted} equivalences, "
+                f"{pre.stats.gates_detected} gates"
+            )
+            work = pre.formula
+            gates = pre.gates
+        else:
+            work = formula.copy()
+
+        limits.check_time()
+        state = self._build_state(work, gates)
+        state.prune_prefix()
+        self.stats["initial_matrix_size"] = state.matrix_size()
+        self._trace(
+            f"matrix AIG built: {state.matrix_size()} AND nodes, "
+            f"{len(state.prefix.universals)} universal / "
+            f"{len(state.prefix.existentials)} existential variables"
+        )
+
+        if options.use_sat_probe and not self._sat_probe(state, limits):
+            # The all-zero universal branch has no satisfying existential
+            # assignment, so no Skolem functions can exist.
+            self.stats["sat_probe_refuted"] = 1
+            self._trace("SAT probe refuted the all-zero branch: UNSAT")
+            return False
+
+        unit_pure_stats = UnitPureStats()
+        unit_pure_time = 0.0
+        qbf_stats = QbfSolverStats()
+        eliminations = {"universal": 0, "existential": 0}
+
+        # MaxSAT selection of the minimum elimination set (computed once,
+        # before the main loop, as in the paper).
+        elimination_pool: List[int] = []
+        if options.use_maxsat_selection:
+            selection = select_elimination_set(state.prefix)
+            elimination_pool = list(selection.variables)
+            self._trace(
+                f"MaxSAT selection: eliminate {selection.variables} "
+                f"({selection.num_pairs} incomparable pairs)"
+            )
+            self.stats["maxsat_time"] = selection.maxsat_time
+            self.stats["maxsat_pairs"] = selection.num_pairs
+            self.stats["selected_universals"] = len(elimination_pool)
+
+        fraig_countdown = options.fraig_interval
+
+        while True:
+            limits.check_time()
+            self._maybe_compact(state)
+            limits.check_nodes(state.matrix_size())
+
+            constant = state.is_constant()
+            if constant is not None:
+                return constant
+
+            if options.use_unit_pure:
+                tick = time.monotonic()
+                decided = apply_unit_pure(state, unit_pure_stats)
+                unit_pure_time += time.monotonic() - tick
+                self.stats["unit_pure_time"] = unit_pure_time
+                self._export_unit_pure(unit_pure_stats)
+                if decided is not None:
+                    return decided
+            state.prune_prefix()
+
+            # Theorem 2: eliminate existentials depending on all universals.
+            progressed = True
+            while progressed:
+                progressed = False
+                for y in eliminable_existentials(state):
+                    limits.check_time()
+                    eliminate_existential(state, y)
+                    eliminations["existential"] += 1
+                    self._trace(
+                        f"Theorem 2: eliminated existential {y}, "
+                        f"matrix {state.matrix_size()} nodes"
+                    )
+                    progressed = True
+                constant = state.is_constant()
+                if constant is not None:
+                    self._export_eliminations(eliminations)
+                    return constant
+                state.prune_prefix()
+
+            if not state.prefix.universals:
+                # Pure SAT endgame.
+                self._export_eliminations(eliminations)
+                self._trace("no universals left: SAT endgame")
+                return is_satisfiable(state.aig, state.root, limits.deadline())
+
+            if is_acyclic(state.prefix):
+                self._export_eliminations(eliminations)
+                if options.use_qbf_backend:
+                    blocked = linearize(state.prefix)
+                    self._trace(f"dependency graph acyclic: QBF back-end with prefix {blocked!r}")
+                    result = solve_aig_qbf(
+                        state.aig,
+                        state.root,
+                        blocked,
+                        limits,
+                        use_unit_pure=options.use_unit_pure,
+                        stats=qbf_stats,
+                        compact_ratio=options.compact_ratio,
+                    )
+                    self.stats.update(
+                        {f"qbf_{k}": v for k, v in qbf_stats.as_dict().items()}
+                    )
+                    return result
+                # Ablation/baseline path: keep expanding universals.
+                x = self._next_universal(state, list(state.prefix.universals))
+            else:
+                candidates = [
+                    x for x in elimination_pool if state.prefix.is_universal(x)
+                ]
+                if not candidates:
+                    candidates = self._fallback_candidates(state)
+                x = self._next_universal(state, candidates)
+
+            copies = eliminate_universal(state, x)
+            eliminations["universal"] += 1
+            self._trace(
+                f"Theorem 1: eliminated universal {x} "
+                f"({len(copies)} copies), matrix {state.matrix_size()} nodes"
+            )
+            self._export_eliminations(eliminations)
+
+            if options.fraig_interval:
+                fraig_countdown -= 1
+                if fraig_countdown <= 0:
+                    fraig_countdown = options.fraig_interval
+                    self._fraig(state)
+
+    # ------------------------------------------------------------------
+    def _build_state(self, work: Dqbf, gates: List[Gate]) -> AigDqbf:
+        """Create the AIG matrix, inlining detected gates via compose."""
+        aig, root = cnf_to_aig(work.matrix.clauses)
+        if gates:
+            gate_edges: Dict[int, int] = {}
+            for gate in gates:  # inputs-first order
+                inputs = []
+                for lit in gate.inputs:
+                    v = var_of(lit)
+                    edge = gate_edges.get(v)
+                    if edge is None:
+                        edge = aig.var(v)
+                    inputs.append(complement(edge) if lit < 0 else edge)
+                if gate.kind == "and":
+                    edge = aig.land_many(inputs)
+                elif gate.kind == "or":
+                    edge = aig.lor_many(inputs)
+                elif gate.kind == "xor":
+                    edge = inputs[0]
+                    for other in inputs[1:]:
+                        edge = aig.lxor(edge, other)
+                else:  # pragma: no cover
+                    raise ValueError(f"unknown gate kind {gate.kind}")
+                gate_edges[gate.output] = edge
+            root = aig.compose(root, gate_edges)
+            for gate in gates:
+                if work.prefix.quantifies(gate.output):
+                    work.prefix.remove_variable(gate.output)
+        next_var = max(
+            [work.matrix.num_vars]
+            + work.prefix.all_variables()
+            + [0]
+        ) + 1
+        return AigDqbf(aig, root, work.prefix, next_var)
+
+    def _sat_probe(self, state: AigDqbf, limits: Limits) -> bool:
+        """One SAT call on the all-zero universal branch (Section IV).
+
+        If the matrix restricted to ``x := 0`` for every universal has no
+        satisfying assignment of the existentials, the DQBF is trivially
+        unsatisfied.  Returns ``False`` exactly in that refuting case.
+        """
+        constant = state.is_constant()
+        if constant is not None:
+            return constant
+        branch = state.aig.compose(
+            state.root, {x: FALSE for x in state.prefix.universals}
+        )
+        return is_satisfiable(state.aig, branch, limits.deadline())
+
+    def _maybe_compact(self, state: AigDqbf) -> None:
+        live = state.matrix_size()
+        if state.aig.num_nodes > self.options.compact_ratio * max(live, 64):
+            state.compact()
+
+    def _fraig(self, state: AigDqbf) -> None:
+        fresh, root = fraig_root(state.aig, state.root, FraigOptions())
+        state.aig = fresh
+        state.root = root
+
+    def _next_universal(self, state: AigDqbf, candidates: List[int]) -> int:
+        if self.options.elimination_order == "growth":
+            from .elimination import universal_growth_estimate
+
+            return min(
+                candidates, key=lambda x: (universal_growth_estimate(state, x), x)
+            )
+        ordered = order_by_copy_cost(state.prefix, candidates)
+        return ordered[0]
+
+    def _fallback_candidates(self, state: AigDqbf) -> List[int]:
+        """Without MaxSAT selection: universals occurring in some pair difference."""
+        pool: Set[int] = set()
+        for y, y_prime in incomparable_pairs(state.prefix):
+            d_y = state.prefix.dependencies(y)
+            d_yp = state.prefix.dependencies(y_prime)
+            pool |= d_y ^ d_yp
+        if not pool:  # pragma: no cover - cyclic prefix always has pairs
+            pool = set(state.prefix.universals)
+        return sorted(pool)
+
+    def _export_unit_pure(self, stats: UnitPureStats) -> None:
+        self.stats["units_eliminated"] = stats.units_eliminated
+        self.stats["pures_eliminated"] = stats.pures_eliminated
+
+    def _export_eliminations(self, counters: Dict[str, int]) -> None:
+        self.stats["universal_eliminations"] = counters["universal"]
+        self.stats["existential_eliminations"] = counters["existential"]
+
+
+def solve_dqbf(
+    formula: Dqbf,
+    limits: Optional[Limits] = None,
+    options: Optional[HqsOptions] = None,
+) -> SolveResult:
+    """Solve a DQBF with HQS; the main public entry point of the library."""
+    return HqsSolver(options).solve(formula, limits)

@@ -1,0 +1,85 @@
+"""Solver results, resource limits and statistics.
+
+The paper's experiments censor runs at a wall-clock timeout ("TO") and a
+memory limit ("MO").  We reproduce both: :class:`Limits` carries a time
+budget and an AIG node budget (the node count is the dominant memory
+consumer of an elimination-based solver, so it stands in for the 8 GB
+memout of the paper).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from ..errors import NodeLimitExceeded, TimeoutExceeded
+
+SAT = "SAT"
+UNSAT = "UNSAT"
+TIMEOUT = "TIMEOUT"
+MEMOUT = "MEMOUT"
+UNKNOWN = "UNKNOWN"
+
+
+class Limits:
+    """Per-solve resource budget."""
+
+    def __init__(
+        self,
+        time_limit: Optional[float] = None,
+        node_limit: Optional[int] = None,
+    ):
+        self.time_limit = time_limit
+        self.node_limit = node_limit
+        self._start = time.monotonic()
+
+    def restart_clock(self) -> None:
+        self._start = time.monotonic()
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self._start
+
+    def deadline(self) -> Optional[float]:
+        """Absolute ``time.monotonic`` timestamp of the time budget, if any."""
+        if self.time_limit is None:
+            return None
+        return self._start + self.time_limit
+
+    def check_time(self) -> None:
+        if self.time_limit is not None and self.elapsed() > self.time_limit:
+            raise TimeoutExceeded()
+
+    def check_nodes(self, num_nodes: int) -> None:
+        if self.node_limit is not None and num_nodes > self.node_limit:
+            raise NodeLimitExceeded()
+
+    def copy(self) -> "Limits":
+        fresh = Limits(self.time_limit, self.node_limit)
+        fresh._start = self._start
+        return fresh
+
+
+class SolveResult:
+    """Outcome of a solver run.
+
+    ``status`` is one of :data:`SAT`, :data:`UNSAT`, :data:`TIMEOUT`,
+    :data:`MEMOUT`, :data:`UNKNOWN`.  ``stats`` carries solver-specific
+    counters (eliminations performed, unit/pure hits, MaxSAT time, ...).
+    """
+
+    def __init__(
+        self,
+        status: str,
+        runtime: float = 0.0,
+        stats: Optional[Dict[str, float]] = None,
+    ):
+        self.status = status
+        self.runtime = runtime
+        self.stats = stats or {}
+
+    @property
+    def solved(self) -> bool:
+        return self.status in (SAT, UNSAT)
+
+    def __repr__(self) -> str:
+        return f"SolveResult({self.status}, {self.runtime:.3f}s)"

@@ -1,0 +1,80 @@
+"""Minimum elimination set via partial MaxSAT (Eqs. 1 and 2 of the paper).
+
+For every pair of existential variables with incomparable dependency
+sets we must eliminate either all universals in ``D_y \\ D_y'`` or all
+in ``D_y' \\ D_y``.  Introducing a MaxSAT variable ``x̂`` per universal
+(``x̂ = 1`` means "eliminate x"), the hard constraint per pair is the
+disjunction of the two conjunctions (Eq. 1), and the soft constraints
+``¬x̂`` (Eq. 2) make the MaxSAT optimum a *minimum* elimination set.
+
+The conjunction-of-conjunctions shape of Eq. 1 is not CNF; we Tseitinize
+each pair with one selector variable, which preserves the optimum.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..formula.prefix import DependencyPrefix
+from ..maxsat.solver import PartialMaxSatSolver
+from .depgraph import incomparable_pairs
+
+
+class SelectionResult:
+    """Universal variables to eliminate, plus bookkeeping for statistics."""
+
+    def __init__(self, variables: List[int], num_pairs: int, maxsat_time: float):
+        self.variables = variables
+        self.num_pairs = num_pairs
+        self.maxsat_time = maxsat_time
+
+    def __repr__(self) -> str:
+        return f"SelectionResult({self.variables}, pairs={self.num_pairs})"
+
+
+def select_elimination_set(prefix: DependencyPrefix) -> SelectionResult:
+    """Compute a minimum set of universals whose elimination yields a QBF."""
+    pairs = incomparable_pairs(prefix)
+    if not pairs:
+        return SelectionResult([], 0, 0.0)
+
+    start = time.monotonic()
+    universals = prefix.universals
+    index: Dict[int, int] = {x: i + 1 for i, x in enumerate(universals)}
+    next_var = len(universals)
+
+    solver = PartialMaxSatSolver()
+    for y, y_prime in pairs:
+        d_y = prefix.dependencies(y)
+        d_yp = prefix.dependencies(y_prime)
+        left = sorted(d_y - d_yp)
+        right = sorted(d_yp - d_y)
+        # selector s: s -> eliminate all of `left`; !s -> all of `right`.
+        next_var += 1
+        selector = next_var
+        for x in left:
+            solver.add_hard([-selector, index[x]])
+        for x in right:
+            solver.add_hard([selector, index[x]])
+    for x in universals:
+        solver.add_soft([-index[x]])
+
+    result = solver.solve()
+    if not result.satisfiable:  # pragma: no cover - Eq. 1 is always satisfiable
+        raise AssertionError("elimination-set MaxSAT instance must be satisfiable")
+    chosen = [x for x in universals if result.model.get(index[x], False)]
+    elapsed = time.monotonic() - start
+    return SelectionResult(chosen, len(pairs), elapsed)
+
+
+def order_by_copy_cost(
+    prefix: DependencyPrefix, candidates: Sequence[int]
+) -> List[int]:
+    """Order elimination candidates by the number of existential copies
+    their elimination would introduce (cheapest first), as in Section III-C."""
+    costs: List[Tuple[int, int]] = []
+    for x in candidates:
+        costs.append((len(prefix.dependents_of(x)), x))
+    costs.sort()
+    return [x for _, x in costs]

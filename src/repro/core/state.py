@@ -1,0 +1,73 @@
+"""The AIG-backed DQBF state manipulated by the elimination engine.
+
+After preprocessing, HQS trades the CNF matrix for an AIG; the state
+couples that AIG (a root edge in a shared manager) with the dependency
+prefix and a fresh-variable counter for the copies that Theorem 1
+introduces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ..aig.graph import FALSE, TRUE, Aig
+from ..formula.prefix import DependencyPrefix
+
+
+class AigDqbf:
+    """A DQBF whose matrix lives in an AIG."""
+
+    def __init__(self, aig: Aig, root: int, prefix: DependencyPrefix, next_var: int):
+        self.aig = aig
+        self.root = root
+        self.prefix = prefix
+        self.next_var = next_var
+
+    def fresh_var(self) -> int:
+        var = self.next_var
+        self.next_var += 1
+        return var
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def support(self) -> Set[int]:
+        if self.root in (TRUE, FALSE):
+            return set()
+        return self.aig.support(self.root)
+
+    def prune_prefix(self) -> None:
+        """Remove prefix variables that no longer occur in the matrix."""
+        self.prefix.restrict_to(self.support())
+
+    def is_constant(self) -> Optional[bool]:
+        if self.root == TRUE:
+            return True
+        if self.root == FALSE:
+            return False
+        return None
+
+    def matrix_size(self) -> int:
+        """AND-node count of the live cone (the |phi| of the paper)."""
+        if self.root in (TRUE, FALSE):
+            return 0
+        return self.aig.cone_size(self.root)
+
+    def compact(self) -> None:
+        """Garbage-collect the AIG manager, keeping only the live cone."""
+        fresh, (root,) = self.aig.extract([self.root])
+        self.aig = fresh
+        self.root = root
+
+    def evaluate(self, assignment: Dict[int, bool]) -> bool:
+        if self.root == TRUE:
+            return True
+        if self.root == FALSE:
+            return False
+        return self.aig.evaluate(self.root, assignment)
+
+    def __repr__(self) -> str:
+        return (
+            f"AigDqbf(|phi|={self.matrix_size()}, "
+            f"A={len(self.prefix.universals)}, E={len(self.prefix.existentials)})"
+        )

@@ -1,0 +1,14 @@
+"""Shared resource-limit exceptions.
+
+Defined at the top level so that low-level packages (``repro.aig``,
+``repro.sat``) can signal limit exhaustion without importing the solver
+core; :mod:`repro.core.result` re-exports them.
+"""
+
+
+class TimeoutExceeded(Exception):
+    """Raised when a solve exceeds its wall-clock budget."""
+
+
+class NodeLimitExceeded(Exception):
+    """Raised when a solve exceeds its AIG node budget (memout stand-in)."""

@@ -1,0 +1,23 @@
+"""Experiment harness: Table I, Fig. 4 and the in-text statistics."""
+
+from .extstats import extended_stats, fraction_solved_fast
+from .fig4 import ScatterPoint, build_scatter, scatter_summary, to_csv
+from .runner import BenchConfig, RunRecord, generate_suite, run_solver, run_suite
+from .table1 import FamilyRow, build_table, format_table
+
+__all__ = [
+    "extended_stats",
+    "fraction_solved_fast",
+    "ScatterPoint",
+    "build_scatter",
+    "scatter_summary",
+    "to_csv",
+    "BenchConfig",
+    "RunRecord",
+    "generate_suite",
+    "run_solver",
+    "run_suite",
+    "FamilyRow",
+    "build_table",
+    "format_table",
+]

@@ -1,0 +1,187 @@
+"""Regenerate Fig. 4 of the paper: per-instance runtime scatter HQS vs IDQ.
+
+The figure plots, for every benchmark instance, IDQ's runtime against
+HQS's runtime on log-log axes; timeouts/memouts sit on the "TO"/"MO"
+border lines.  We emit the underlying series as a list of points (and
+optionally a CSV) — the claims to check are *positional*: almost all
+points below the diagonal, HQS's solved set a superset of IDQ's, and
+maximum speedups of several orders of magnitude.
+
+Run as a module::
+
+    python -m repro.experiments.fig4 [output.csv]
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .runner import BenchConfig, RunRecord, run_suite
+
+
+class ScatterPoint:
+    """One instance's coordinates in the Fig. 4 scatter."""
+
+    def __init__(
+        self,
+        name: str,
+        family: str,
+        hqs_time: float,
+        idq_time: float,
+        hqs_status: str,
+        idq_status: str,
+    ):
+        self.name = name
+        self.family = family
+        self.hqs_time = hqs_time
+        self.idq_time = idq_time
+        self.hqs_status = hqs_status
+        self.idq_status = idq_status
+
+    @property
+    def hqs_solved(self) -> bool:
+        return self.hqs_status in ("SAT", "UNSAT")
+
+    @property
+    def idq_solved(self) -> bool:
+        return self.idq_status in ("SAT", "UNSAT")
+
+    @property
+    def speedup(self) -> Optional[float]:
+        """IDQ time / HQS time where both solved."""
+        if not (self.hqs_solved and self.idq_solved) or self.hqs_time <= 0:
+            return None
+        return self.idq_time / max(self.hqs_time, 1e-6)
+
+    def as_csv_row(self) -> str:
+        return (
+            f"{self.name},{self.family},{self.hqs_time:.6f},{self.idq_time:.6f},"
+            f"{self.hqs_status},{self.idq_status}"
+        )
+
+
+def build_scatter(records: Sequence[RunRecord]) -> List[ScatterPoint]:
+    """Pair up HQS/IDQ records per instance."""
+    by_instance: Dict[str, Dict[str, RunRecord]] = {}
+    for record in records:
+        by_instance.setdefault(record.instance.name, {})[record.solver] = record
+    points = []
+    for name, runs in sorted(by_instance.items()):
+        if "HQS" not in runs or "IDQ" not in runs:
+            continue
+        hqs, idq = runs["HQS"], runs["IDQ"]
+        points.append(
+            ScatterPoint(
+                name,
+                hqs.instance.family,
+                hqs.result.runtime,
+                idq.result.runtime,
+                hqs.result.status,
+                idq.result.status,
+            )
+        )
+    return points
+
+
+def scatter_summary(
+    points: Sequence[ScatterPoint], epsilon: float = 0.05
+) -> Dict[str, object]:
+    """The qualitative claims of Fig. 4 as checkable numbers.
+
+    ``epsilon`` is a timer floor: the paper's log-log axes start at
+    0.1 s, so runtime differences below ``epsilon`` seconds are treated
+    as on-diagonal rather than letting scheduler noise decide the side.
+    """
+    both = [p for p in points if p.hqs_solved and p.idq_solved]
+    below_diagonal = sum(1 for p in both if p.hqs_time <= p.idq_time + epsilon)
+    speedups = [p.speedup for p in both if p.speedup is not None]
+    hqs_only = [p for p in points if p.hqs_solved and not p.idq_solved]
+    idq_only = [p for p in points if p.idq_solved and not p.hqs_solved]
+    return {
+        "points": len(points),
+        "both_solved": len(both),
+        "below_diagonal": below_diagonal,
+        "below_diagonal_fraction": below_diagonal / len(both) if both else None,
+        "max_speedup": max(speedups) if speedups else None,
+        "median_speedup": sorted(speedups)[len(speedups) // 2] if speedups else None,
+        "hqs_only_solved": len(hqs_only),
+        "idq_only_solved": len(idq_only),
+    }
+
+
+def ascii_scatter(
+    points: Sequence[ScatterPoint],
+    width: int = 56,
+    height: int = 24,
+    floor: float = 1e-3,
+) -> str:
+    """Render the Fig. 4 scatter as ASCII art (log-log axes).
+
+    ``*`` marks instances solved by both solvers, ``>`` instances only
+    HQS solved (right/top border, like the paper's TO/MO lines), ``<``
+    instances only IDQ solved.  The diagonal is drawn with ``.``.
+    """
+    import math
+
+    if not points:
+        return "(no points)"
+    times = [max(p.hqs_time, floor) for p in points] + [
+        max(p.idq_time, floor) for p in points
+    ]
+    lo = math.log10(min(times))
+    hi = math.log10(max(times)) + 0.2
+    span = max(hi - lo, 1e-9)
+
+    def col(t: float) -> int:
+        return min(width - 1, int((math.log10(max(t, floor)) - lo) / span * (width - 1)))
+
+    def row(t: float) -> int:
+        return min(height - 1, int((math.log10(max(t, floor)) - lo) / span * (height - 1)))
+
+    grid = [[" "] * width for _ in range(height)]
+    for i in range(min(width, height)):
+        grid[height - 1 - int(i * (height - 1) / (width - 1))][i] = "."
+    for p in points:
+        if p.hqs_solved and p.idq_solved:
+            mark = "*"
+            x, y = col(p.hqs_time), row(p.idq_time)
+        elif p.hqs_solved:
+            mark = ">"
+            x, y = col(p.hqs_time), height - 1  # IDQ on the TO border
+        elif p.idq_solved:
+            mark = "<"
+            x, y = width - 1, row(p.idq_time)
+        else:
+            continue
+        grid[height - 1 - y][x] = mark
+    lines = ["IDQ time ^  (* both, > HQS-only, < IDQ-only, . diagonal)"]
+    lines += ["|" + "".join(r) for r in grid]
+    lines.append("+" + "-" * width + "> HQS time")
+    return "\n".join(lines)
+
+
+def to_csv(points: Sequence[ScatterPoint]) -> str:
+    header = "instance,family,hqs_time,idq_time,hqs_status,idq_status"
+    return "\n".join([header] + [p.as_csv_row() for p in points]) + "\n"
+
+
+def main(argv: Sequence[str] = ()) -> List[ScatterPoint]:
+    config = BenchConfig()
+    print(f"Fig. 4 reproduction with {config!r}")
+    records = run_suite(config)
+    points = build_scatter(records)
+    summary = scatter_summary(points)
+    for key, value in summary.items():
+        print(f"  {key}: {value}")
+    print()
+    print(ascii_scatter(points))
+    if argv:
+        with open(argv[0], "w", encoding="ascii") as handle:
+            handle.write(to_csv(points))
+        print(f"scatter series written to {argv[0]}")
+    return points
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

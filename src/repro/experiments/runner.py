@@ -1,0 +1,136 @@
+"""Experiment runner: solve instance pools under limits, collect records.
+
+Mirrors the paper's experimental setup (Section IV) at laptop scale: a
+per-instance wall-clock timeout stands in for the 2 h limit and an AIG
+node budget stands in for the 8 GB memout.  Environment variables let
+the benchmark harness scale without code changes:
+
+``REPRO_BENCH_SCALE``        size multiplier for the circuit families
+``REPRO_BENCH_COUNT``        instances per family
+``REPRO_BENCH_TIMEOUT``      per-instance time limit in seconds
+``REPRO_BENCH_NODELIMIT``    AIG node budget
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..baselines.expansion import solve_expansion
+from ..baselines.idq import IdqSolver
+from ..core.hqs import HqsOptions, HqsSolver
+from ..core.result import MEMOUT, SAT, TIMEOUT, UNSAT, Limits, SolveResult
+from ..formula.dqbf import Dqbf
+from ..pec.encode import PecInstance
+from ..pec.families import FAMILIES, generate_family
+
+
+class RunRecord:
+    """One (instance, solver) measurement."""
+
+    def __init__(self, instance: PecInstance, solver: str, result: SolveResult):
+        self.instance = instance
+        self.solver = solver
+        self.result = result
+
+    @property
+    def solved(self) -> bool:
+        return self.result.solved
+
+    def __repr__(self) -> str:
+        return f"RunRecord({self.instance.name}, {self.solver}, {self.result})"
+
+
+class BenchConfig:
+    """Benchmark knobs, initialized from the environment."""
+
+    def __init__(
+        self,
+        scale: Optional[float] = None,
+        count: Optional[int] = None,
+        timeout: Optional[float] = None,
+        node_limit: Optional[int] = None,
+        seed: int = 2015,
+    ):
+        self.scale = scale if scale is not None else float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+        self.count = count if count is not None else int(os.environ.get("REPRO_BENCH_COUNT", "6"))
+        self.timeout = timeout if timeout is not None else float(os.environ.get("REPRO_BENCH_TIMEOUT", "5.0"))
+        self.node_limit = node_limit if node_limit is not None else int(
+            os.environ.get("REPRO_BENCH_NODELIMIT", "200000")
+        )
+        self.seed = seed
+
+    def limits(self) -> Limits:
+        return Limits(time_limit=self.timeout, node_limit=self.node_limit)
+
+    def __repr__(self) -> str:
+        return (
+            f"BenchConfig(scale={self.scale}, count={self.count}, "
+            f"timeout={self.timeout}s, node_limit={self.node_limit})"
+        )
+
+
+def _solve_bdd(formula: Dqbf, limits: Limits) -> SolveResult:
+    from ..bdd.solver import solve_bdd
+
+    return solve_bdd(formula, limits)
+
+
+def _solve_dpll(formula: Dqbf, limits: Limits) -> SolveResult:
+    from ..baselines.dpll import solve_dpll_dqbf
+
+    return solve_dpll_dqbf(formula, limits)
+
+
+SOLVERS: Dict[str, Callable[[Dqbf, Limits], SolveResult]] = {
+    "HQS": lambda formula, limits: HqsSolver().solve(formula, limits),
+    "HQS_PROBE": lambda formula, limits: HqsSolver(
+        HqsOptions(use_sat_probe=True)
+    ).solve(formula, limits),
+    "IDQ": lambda formula, limits: IdqSolver().solve(formula, limits),
+    "EXPANSION": lambda formula, limits: solve_expansion(formula, limits),
+    "BDD": _solve_bdd,
+    "DPLL": _solve_dpll,
+}
+
+
+def run_solver(name: str, instance: PecInstance, config: BenchConfig) -> RunRecord:
+    """Run one solver on one instance under the configured limits."""
+    solver = SOLVERS[name]
+    result = solver(instance.formula.copy(), config.limits())
+    _check_expected(instance, name, result)
+    return RunRecord(instance, name, result)
+
+
+def _check_expected(instance: PecInstance, solver: str, result: SolveResult) -> None:
+    if instance.expected is None or not result.solved:
+        return
+    expected_status = SAT if instance.expected else UNSAT
+    if result.status != expected_status:
+        raise AssertionError(
+            f"{solver} returned {result.status} on {instance.name}, "
+            f"expected {expected_status}"
+        )
+
+
+def generate_suite(config: BenchConfig, families: Sequence[str] = FAMILIES) -> Dict[str, List[PecInstance]]:
+    """Generate the scaled benchmark suite, one instance pool per family."""
+    return {
+        family: generate_family(family, config.count, scale=config.scale, seed=config.seed)
+        for family in families
+    }
+
+
+def run_suite(
+    config: BenchConfig,
+    solvers: Sequence[str] = ("HQS", "IDQ"),
+    families: Sequence[str] = FAMILIES,
+) -> List[RunRecord]:
+    """Run the full comparison; returns one record per (instance, solver)."""
+    suite = generate_suite(config, families)
+    records: List[RunRecord] = []
+    for family in families:
+        for instance in suite[family]:
+            for solver in solvers:
+                records.append(run_solver(solver, instance, config))
+    return records

@@ -1,0 +1,123 @@
+"""Regenerate Table I of the paper.
+
+For every benchmark family and both solvers the table reports: the
+number of instances, solved instances split into SAT/UNSAT, unsolved
+split into timeouts/memouts, and the accumulated runtime on the
+instances *solved by both solvers* (the "total time" columns of the
+paper).
+
+Run as a module for a quick report::
+
+    python -m repro.experiments.table1
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.result import MEMOUT, SAT, TIMEOUT, UNSAT
+from ..pec.families import FAMILIES
+from .runner import BenchConfig, RunRecord, run_suite
+
+
+class FamilyRow:
+    """One row of Table I for one solver."""
+
+    def __init__(self, family: str, solver: str):
+        self.family = family
+        self.solver = solver
+        self.instances = 0
+        self.solved = 0
+        self.sat = 0
+        self.unsat = 0
+        self.timeouts = 0
+        self.memouts = 0
+        self.total_time_common = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "family": self.family,
+            "solver": self.solver,
+            "instances": self.instances,
+            "solved": self.solved,
+            "sat": self.sat,
+            "unsat": self.unsat,
+            "timeouts": self.timeouts,
+            "memouts": self.memouts,
+            "total_time_common": round(self.total_time_common, 3),
+        }
+
+
+def build_table(
+    records: Sequence[RunRecord], solvers: Sequence[str] = ("HQS", "IDQ")
+) -> List[FamilyRow]:
+    """Aggregate run records into Table I rows (plus a 'total' row each)."""
+    by_key: Dict[Tuple[str, str], FamilyRow] = {}
+    families = sorted({r.instance.family for r in records}, key=_family_order)
+    for family in families + ["total"]:
+        for solver in solvers:
+            by_key[(family, solver)] = FamilyRow(family, solver)
+
+    # which instances were solved by all solvers (for the common-time column)
+    solved_by: Dict[str, set] = {}
+    runtime: Dict[Tuple[str, str], float] = {}
+    for record in records:
+        runtime[(record.instance.name, record.solver)] = record.result.runtime
+        if record.solved:
+            solved_by.setdefault(record.instance.name, set()).add(record.solver)
+    common = {
+        name for name, who in solved_by.items() if all(s in who for s in solvers)
+    }
+
+    for record in records:
+        for family in (record.instance.family, "total"):
+            row = by_key[(family, record.solver)]
+            row.instances += 1
+            status = record.result.status
+            if status == SAT:
+                row.solved += 1
+                row.sat += 1
+            elif status == UNSAT:
+                row.solved += 1
+                row.unsat += 1
+            elif status == TIMEOUT:
+                row.timeouts += 1
+            elif status == MEMOUT:
+                row.memouts += 1
+            if record.instance.name in common:
+                row.total_time_common += record.result.runtime
+    return [by_key[key] for key in sorted(by_key, key=lambda k: (_family_order(k[0]), k[1]))]
+
+
+def _family_order(family: str) -> int:
+    order = list(FAMILIES) + ["total"]
+    return order.index(family) if family in order else len(order)
+
+
+def format_table(rows: Sequence[FamilyRow]) -> str:
+    """Render rows in the layout of Table I."""
+    lines = [
+        f"{'family':<11} {'solver':<10} {'#inst':>6} {'solved':>7} "
+        f"{'(SAT/UNSAT)':>12} {'unsolved':>9} {'(TO/MO)':>9} {'total time':>11}"
+    ]
+    for row in rows:
+        unsolved = row.timeouts + row.memouts
+        lines.append(
+            f"{row.family:<11} {row.solver:<10} {row.instances:>6} {row.solved:>7} "
+            f"({row.sat}/{row.unsat}){'':>4} {unsolved:>6} "
+            f"({row.timeouts}/{row.memouts}){'':>2} {row.total_time_common:>10.2f}s"
+        )
+    return "\n".join(lines)
+
+
+def main() -> List[FamilyRow]:
+    config = BenchConfig()
+    print(f"Table I reproduction with {config!r}")
+    records = run_suite(config)
+    rows = build_table(records)
+    print(format_table(rows))
+    return rows
+
+
+if __name__ == "__main__":
+    main()

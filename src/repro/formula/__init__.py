@@ -1,0 +1,50 @@
+"""Formula containers: CNF, DQBF, QBF, quantifier prefixes and DQDIMACS I/O."""
+
+from .cnf import Cnf, cnf_from_clauses, normalize_clause
+from .dqbf import Dqbf, expand_to_propositional, expansion_solve, skolem_enumeration_solve
+from .dqdimacs import (
+    DqdimacsError,
+    load_dqdimacs,
+    parse_dqdimacs,
+    save_dqdimacs,
+    write_dqdimacs,
+)
+from .lits import lit_of, negate, var_of
+from .prefix import EXISTS, FORALL, BlockedPrefix, DependencyPrefix
+from .qbf import Qbf, brute_force_qbf
+from .qdimacs import (
+    QdimacsError,
+    load_qdimacs,
+    parse_qdimacs,
+    save_qdimacs,
+    write_qdimacs,
+)
+
+__all__ = [
+    "Cnf",
+    "cnf_from_clauses",
+    "normalize_clause",
+    "Dqbf",
+    "expand_to_propositional",
+    "expansion_solve",
+    "skolem_enumeration_solve",
+    "DqdimacsError",
+    "load_dqdimacs",
+    "parse_dqdimacs",
+    "save_dqdimacs",
+    "write_dqdimacs",
+    "lit_of",
+    "negate",
+    "var_of",
+    "EXISTS",
+    "FORALL",
+    "BlockedPrefix",
+    "DependencyPrefix",
+    "Qbf",
+    "brute_force_qbf",
+    "QdimacsError",
+    "load_qdimacs",
+    "parse_qdimacs",
+    "save_qdimacs",
+    "write_qdimacs",
+]

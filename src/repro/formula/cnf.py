@@ -1,0 +1,162 @@
+"""A small clause database used as the front-end matrix representation.
+
+The DQBF/QBF containers keep their matrix in CNF until preprocessing
+finishes; afterwards the solvers switch to an AIG representation
+(:mod:`repro.aig`).  The class deliberately stays close to the DIMACS
+view of the world: clauses are tuples of integer literals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .lits import var_of
+
+
+def normalize_clause(lits: Iterable[int]) -> Optional[Tuple[int, ...]]:
+    """Sort and deduplicate a clause; return ``None`` if it is a tautology.
+
+    The result is a tuple sorted by variable then polarity, which makes
+    clause-set comparisons deterministic.
+    """
+    seen: Set[int] = set()
+    for lit in lits:
+        if lit == 0:
+            raise ValueError("0 is not a literal")
+        if -lit in seen:
+            return None
+        seen.add(lit)
+    return tuple(sorted(seen, key=lambda l: (var_of(l), l < 0)))
+
+
+class Cnf:
+    """A set of clauses over integer variables.
+
+    The database deduplicates clauses and drops tautologies on insertion.
+    ``num_vars`` tracks the largest variable mentioned (or declared).
+    """
+
+    def __init__(self, clauses: Iterable[Iterable[int]] = (), num_vars: int = 0):
+        self._clauses: List[Tuple[int, ...]] = []
+        self._clause_set: Set[Tuple[int, ...]] = set()
+        self.num_vars = num_vars
+        for clause in clauses:
+            self.add_clause(clause)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Insert a clause; returns ``True`` if it was new and non-trivial."""
+        clause = normalize_clause(lits)
+        if clause is None or clause in self._clause_set:
+            return False
+        self._clauses.append(clause)
+        self._clause_set.add(clause)
+        for lit in clause:
+            v = var_of(lit)
+            if v > self.num_vars:
+                self.num_vars = v
+        return True
+
+    def extend(self, clauses: Iterable[Iterable[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def fresh_var(self) -> int:
+        """Allocate and return a variable not used so far."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def copy(self) -> "Cnf":
+        other = Cnf(num_vars=self.num_vars)
+        other._clauses = list(self._clauses)
+        other._clause_set = set(self._clause_set)
+        return other
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def clauses(self) -> List[Tuple[int, ...]]:
+        return self._clauses
+
+    def __iter__(self) -> Iterator[Tuple[int, ...]]:
+        return iter(self._clauses)
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    def __contains__(self, clause: Iterable[int]) -> bool:
+        normalized = normalize_clause(clause)
+        return normalized in self._clause_set if normalized else False
+
+    def variables(self) -> Set[int]:
+        """Return the set of variables occurring in some clause."""
+        result: Set[int] = set()
+        for clause in self._clauses:
+            for lit in clause:
+                result.add(var_of(lit))
+        return result
+
+    def has_empty_clause(self) -> bool:
+        return () in self._clause_set
+
+    def literal_occurrences(self) -> Dict[int, int]:
+        """Count occurrences of every literal."""
+        counts: Dict[int, int] = {}
+        for clause in self._clauses:
+            for lit in clause:
+                counts[lit] = counts.get(lit, 0) + 1
+        return counts
+
+    def evaluate(self, assignment: Dict[int, bool]) -> bool:
+        """Evaluate the CNF under a complete assignment of its variables."""
+        for clause in self._clauses:
+            satisfied = False
+            for lit in clause:
+                value = assignment[var_of(lit)]
+                if (lit > 0) == value:
+                    satisfied = True
+                    break
+            if not satisfied:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # transformation
+    # ------------------------------------------------------------------
+    def assign(self, var: int, value: bool) -> "Cnf":
+        """Return the CNF with ``var`` fixed to ``value`` (clauses simplified)."""
+        true_lit = var if value else -var
+        result = Cnf(num_vars=self.num_vars)
+        for clause in self._clauses:
+            if true_lit in clause:
+                continue
+            result.add_clause(lit for lit in clause if lit != -true_lit)
+        return result
+
+    def rename(self, mapping: Dict[int, int]) -> "Cnf":
+        """Return the CNF with variables renamed by ``mapping`` (var -> var)."""
+        result = Cnf(num_vars=self.num_vars)
+        for clause in self._clauses:
+            result.add_clause(
+                (mapping.get(var_of(lit), var_of(lit)) * (1 if lit > 0 else -1))
+                for lit in clause
+            )
+        return result
+
+    def to_dimacs(self) -> str:
+        """Serialize in DIMACS CNF format."""
+        lines = [f"p cnf {self.num_vars} {len(self._clauses)}"]
+        for clause in self._clauses:
+            lines.append(" ".join(str(lit) for lit in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+    def __repr__(self) -> str:
+        return f"Cnf(num_vars={self.num_vars}, clauses={len(self._clauses)})"
+
+
+def cnf_from_clauses(clauses: Sequence[Sequence[int]]) -> Cnf:
+    """Convenience constructor used in tests and examples."""
+    return Cnf(clauses)

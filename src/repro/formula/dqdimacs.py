@@ -1,0 +1,154 @@
+"""Reader/writer for the DQDIMACS format used by iDQ and HQS.
+
+DQDIMACS extends QDIMACS with ``d`` lines that state an existential
+variable together with its explicit dependency set::
+
+    p cnf 4 3
+    a 1 2 0
+    d 3 1 0
+    d 4 2 0
+    -3 1 0
+    ...
+
+``a``/``e`` lines behave as in QDIMACS: an ``e`` variable depends on all
+universal variables declared before it.  Clause lines are standard
+DIMACS.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, List, TextIO, Union
+
+from .cnf import Cnf
+from .dqbf import Dqbf
+from .prefix import DependencyPrefix
+
+
+class DqdimacsError(ValueError):
+    """Raised on malformed DQDIMACS input."""
+
+
+def parse_dqdimacs(source: Union[str, TextIO]) -> Dqbf:
+    """Parse DQDIMACS text (or a file-like object) into a :class:`Dqbf`."""
+    if isinstance(source, str):
+        source = io.StringIO(source)
+
+    prefix = DependencyPrefix()
+    clauses: List[List[int]] = []
+    declared_vars = 0
+    declared_clauses = -1
+    universal_so_far: List[int] = []
+    saw_problem_line = False
+
+    for line_number, raw in enumerate(source, start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        tokens = line.split()
+        if tokens[0] == "p":
+            if saw_problem_line:
+                raise DqdimacsError(f"line {line_number}: duplicate problem line")
+            if len(tokens) != 4 or tokens[1] != "cnf":
+                raise DqdimacsError(f"line {line_number}: malformed problem line {line!r}")
+            declared_vars = int(tokens[2])
+            declared_clauses = int(tokens[3])
+            saw_problem_line = True
+            continue
+        if not saw_problem_line:
+            raise DqdimacsError(f"line {line_number}: clause/prefix before problem line")
+        if tokens[0] in ("a", "e", "d"):
+            numbers = _parse_terminated(tokens[1:], line_number)
+            if tokens[0] == "a":
+                for var in numbers:
+                    _check_var(var, declared_vars, line_number)
+                    prefix.add_universal(var)
+                    universal_so_far.append(var)
+            elif tokens[0] == "e":
+                for var in numbers:
+                    _check_var(var, declared_vars, line_number)
+                    prefix.add_existential(var, universal_so_far)
+            else:  # d-line: first number is the variable, rest the dependency set
+                if not numbers:
+                    raise DqdimacsError(f"line {line_number}: empty d line")
+                var, deps = numbers[0], numbers[1:]
+                _check_var(var, declared_vars, line_number)
+                for dep in deps:
+                    _check_var(dep, declared_vars, line_number)
+                try:
+                    prefix.add_existential(var, deps)
+                except ValueError as exc:
+                    raise DqdimacsError(f"line {line_number}: {exc}") from exc
+            continue
+        # clause line
+        literals = _parse_terminated(tokens, line_number, allow_negative=True)
+        for lit in literals:
+            _check_var(abs(lit), declared_vars, line_number)
+        clauses.append(literals)
+
+    if declared_clauses >= 0 and len(clauses) != declared_clauses:
+        # Tolerate the mismatch (many generators are sloppy) but only
+        # when fewer clauses were promised than delivered is it an error.
+        if len(clauses) > declared_clauses:
+            raise DqdimacsError(
+                f"{len(clauses)} clauses found but header declares {declared_clauses}"
+            )
+
+    matrix = Cnf(clauses, num_vars=declared_vars)
+    return Dqbf(prefix, matrix)
+
+
+def _parse_terminated(tokens: List[str], line_number: int, allow_negative: bool = False) -> List[int]:
+    try:
+        numbers = [int(t) for t in tokens]
+    except ValueError as exc:
+        raise DqdimacsError(f"line {line_number}: non-integer token") from exc
+    if not numbers or numbers[-1] != 0:
+        raise DqdimacsError(f"line {line_number}: missing terminating 0")
+    numbers = numbers[:-1]
+    if any(n == 0 for n in numbers):
+        raise DqdimacsError(f"line {line_number}: stray 0 inside line")
+    if not allow_negative and any(n < 0 for n in numbers):
+        raise DqdimacsError(f"line {line_number}: negative variable in prefix")
+    return numbers
+
+
+def _check_var(var: int, declared: int, line_number: int) -> None:
+    if var < 1:
+        raise DqdimacsError(f"line {line_number}: invalid variable {var}")
+    if declared and var > declared:
+        raise DqdimacsError(
+            f"line {line_number}: variable {var} exceeds declared maximum {declared}"
+        )
+
+
+def write_dqdimacs(formula: Dqbf) -> str:
+    """Serialize a :class:`Dqbf` to DQDIMACS text.
+
+    All existential variables are written with explicit ``d`` lines so
+    the output is format-faithful regardless of the dependency structure.
+    """
+    prefix = formula.prefix
+    matrix = formula.matrix
+    num_vars = max([matrix.num_vars] + prefix.all_variables() + [0])
+    lines = [f"p cnf {num_vars} {len(matrix)}"]
+    if prefix.universals:
+        lines.append("a " + " ".join(str(v) for v in prefix.universals) + " 0")
+    for y in prefix.existentials:
+        deps = " ".join(str(x) for x in sorted(prefix.dependencies(y)))
+        lines.append(f"d {y}{(' ' + deps) if deps else ''} 0")
+    for clause in matrix:
+        lines.append(" ".join(str(lit) for lit in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def load_dqdimacs(path: str) -> Dqbf:
+    """Parse a DQDIMACS file from disk."""
+    with open(path, "r", encoding="ascii") as handle:
+        return parse_dqdimacs(handle)
+
+
+def save_dqdimacs(formula: Dqbf, path: str) -> None:
+    """Write a DQDIMACS file to disk."""
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(write_dqdimacs(formula))

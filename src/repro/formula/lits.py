@@ -1,0 +1,47 @@
+"""DIMACS-style literal helpers.
+
+Throughout the library a *variable* is a positive integer and a *literal*
+is a non-zero integer whose sign encodes polarity, exactly as in the
+DIMACS/QDIMACS/DQDIMACS file formats.  These helpers keep the intent of
+arithmetic on literals readable at call sites.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def var_of(lit: int) -> int:
+    """Return the variable underlying ``lit``."""
+    return lit if lit > 0 else -lit
+
+
+def is_positive(lit: int) -> bool:
+    """Return ``True`` iff ``lit`` has positive polarity."""
+    return lit > 0
+
+
+def negate(lit: int) -> int:
+    """Return the complementary literal."""
+    return -lit
+
+
+def lit_of(var: int, value: bool) -> int:
+    """Return the literal asserting that ``var`` takes ``value``."""
+    if var <= 0:
+        raise ValueError(f"variables must be positive integers, got {var}")
+    return var if value else -var
+
+
+def evaluate(lit: int, assignment: dict) -> bool:
+    """Evaluate ``lit`` under a ``{var: bool}`` assignment.
+
+    Raises ``KeyError`` if the underlying variable is unassigned.
+    """
+    value = assignment[var_of(lit)]
+    return value if lit > 0 else not value
+
+
+def variables_of(lits: Iterable[int]) -> set:
+    """Return the set of variables underlying an iterable of literals."""
+    return {var_of(lit) for lit in lits}

@@ -1,0 +1,78 @@
+"""QBF container plus conversions between QBF and DQBF.
+
+The conversion *from* a cyclic-free DQBF to a QBF (the linearization used
+when HQS hands over to the QBF back-end) lives in
+:mod:`repro.core.depgraph`, because it relies on the dependency-graph
+construction of Section III-A.  Here we only keep the trivial embedding
+QBF -> DQBF and the container itself.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .cnf import Cnf
+from .dqbf import Dqbf
+from .prefix import EXISTS, FORALL, BlockedPrefix
+
+
+class Qbf:
+    """A prenex QBF with a CNF matrix."""
+
+    def __init__(self, prefix: Optional[BlockedPrefix] = None, matrix: Optional[Cnf] = None):
+        self.prefix = prefix if prefix is not None else BlockedPrefix()
+        self.matrix = matrix if matrix is not None else Cnf()
+
+    @classmethod
+    def build(
+        cls,
+        blocks: Sequence[Tuple[str, Sequence[int]]],
+        clauses: Iterable[Iterable[int]],
+    ) -> "Qbf":
+        return cls(BlockedPrefix(blocks), Cnf(clauses))
+
+    def copy(self) -> "Qbf":
+        return Qbf(BlockedPrefix(self.prefix.blocks), self.matrix.copy())
+
+    def to_dqbf(self) -> Dqbf:
+        """Embed into DQBF (construction below Definition 3 of the paper)."""
+        return Dqbf(self.prefix.to_dependency_prefix(), self.matrix.copy())
+
+    def free_variables(self) -> List[int]:
+        bound = set(self.prefix.variables())
+        return sorted(v for v in self.matrix.variables() if v not in bound)
+
+    def validate(self) -> None:
+        free = self.free_variables()
+        if free:
+            raise ValueError(f"free variables in matrix: {free}")
+
+    def __repr__(self) -> str:
+        return f"Qbf({self.prefix!r}, {self.matrix!r})"
+
+
+def brute_force_qbf(formula: Qbf) -> bool:
+    """Semantic game-tree evaluation of a small QBF (test oracle).
+
+    Evaluates the quantifier tree directly: universal blocks require all
+    branches to succeed, existential blocks some branch.
+    """
+    formula.validate()
+    blocks = formula.prefix.blocks
+    matrix = formula.matrix
+
+    def recurse(index: int, assignment: dict) -> bool:
+        if index == len(blocks):
+            return matrix.evaluate(assignment)
+        quantifier, variables = blocks[index]
+        outcomes = (
+            recurse(index + 1, {**assignment, **dict(zip(variables, values))})
+            for values in itertools.product((False, True), repeat=len(variables))
+        )
+        if quantifier == FORALL:
+            return all(outcomes)
+        return any(outcomes)
+
+    # Matrix variables outside the prefix would make the formula open.
+    return recurse(0, {})

@@ -1,0 +1,104 @@
+"""Reader/writer for the QDIMACS format (prenex CNF QBF).
+
+HQS linearizes acyclic DQBFs into QBFs (Theorem 3); this module lets
+users export that result for external QBF solvers (DepQBF, AIGSolve,
+...) and import QDIMACS benchmarks into :class:`repro.formula.qbf.Qbf`.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, TextIO, Union
+
+from .cnf import Cnf
+from .prefix import EXISTS, FORALL, BlockedPrefix
+from .qbf import Qbf
+
+
+class QdimacsError(ValueError):
+    """Raised on malformed QDIMACS input."""
+
+
+def parse_qdimacs(source: Union[str, TextIO]) -> Qbf:
+    """Parse QDIMACS text (or a file-like object) into a :class:`Qbf`."""
+    if isinstance(source, str):
+        source = io.StringIO(source)
+
+    prefix = BlockedPrefix()
+    clauses: List[List[int]] = []
+    declared_vars = 0
+    saw_problem_line = False
+    in_prefix = True
+
+    for line_number, raw in enumerate(source, start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        tokens = line.split()
+        if tokens[0] == "p":
+            if saw_problem_line:
+                raise QdimacsError(f"line {line_number}: duplicate problem line")
+            if len(tokens) != 4 or tokens[1] != "cnf":
+                raise QdimacsError(f"line {line_number}: malformed problem line")
+            declared_vars = int(tokens[2])
+            saw_problem_line = True
+            continue
+        if not saw_problem_line:
+            raise QdimacsError(f"line {line_number}: content before problem line")
+        if tokens[0] in ("a", "e"):
+            if not in_prefix:
+                raise QdimacsError(f"line {line_number}: prefix after clauses")
+            numbers = _terminated(tokens[1:], line_number)
+            if any(v < 1 or (declared_vars and v > declared_vars) for v in numbers):
+                raise QdimacsError(f"line {line_number}: variable out of range")
+            prefix.add_block(FORALL if tokens[0] == "a" else EXISTS, numbers)
+            continue
+        in_prefix = False
+        literals = _terminated(tokens, line_number, allow_negative=True)
+        for lit in literals:
+            if abs(lit) < 1 or (declared_vars and abs(lit) > declared_vars):
+                raise QdimacsError(f"line {line_number}: literal out of range")
+        clauses.append(literals)
+
+    return Qbf(prefix, Cnf(clauses, num_vars=declared_vars))
+
+
+def _terminated(tokens: List[str], line_number: int, allow_negative: bool = False) -> List[int]:
+    try:
+        numbers = [int(t) for t in tokens]
+    except ValueError as exc:
+        raise QdimacsError(f"line {line_number}: non-integer token") from exc
+    if not numbers or numbers[-1] != 0:
+        raise QdimacsError(f"line {line_number}: missing terminating 0")
+    numbers = numbers[:-1]
+    if any(n == 0 for n in numbers):
+        raise QdimacsError(f"line {line_number}: stray 0 inside line")
+    if not allow_negative and any(n < 0 for n in numbers):
+        raise QdimacsError(f"line {line_number}: negative variable in prefix")
+    return numbers
+
+
+def write_qdimacs(formula: Qbf) -> str:
+    """Serialize a :class:`Qbf` to QDIMACS text."""
+    matrix = formula.matrix
+    num_vars = max([matrix.num_vars] + formula.prefix.variables() + [0])
+    lines = [f"p cnf {num_vars} {len(matrix)}"]
+    for quantifier, variables in formula.prefix.blocks:
+        lines.append(
+            f"{'a' if quantifier == FORALL else 'e'} "
+            + " ".join(str(v) for v in variables)
+            + " 0"
+        )
+    for clause in matrix:
+        lines.append(" ".join(str(lit) for lit in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def load_qdimacs(path: str) -> Qbf:
+    with open(path, "r", encoding="ascii") as handle:
+        return parse_qdimacs(handle)
+
+
+def save_qdimacs(formula: Qbf, path: str) -> None:
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(write_qdimacs(formula))

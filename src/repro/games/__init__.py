@@ -1,0 +1,6 @@
+"""Incomplete-information Boolean games — the second DQBF application
+named in the paper's introduction (Peterson/Reif/Azhar [8])."""
+
+from .model import BooleanGame, Player, blind_coordination, matching_pennies_team
+
+__all__ = ["BooleanGame", "Player", "blind_coordination", "matching_pennies_team"]

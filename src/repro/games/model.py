@@ -1,0 +1,197 @@
+"""Incomplete-information Boolean games encoded as DQBF.
+
+The paper's introduction lists "the analysis of non-cooperative games
+with incomplete information" (Peterson, Reif, Azhar [8]) as a natural
+DQBF application.  This module implements the simplest interesting
+shape of that problem:
+
+*One adversary sets Boolean variables ``x``; a team of cooperating
+players answers with Boolean moves, but each player observes only a
+subset of the adversary's variables.  The team wins when the win
+condition holds for every adversary play.*
+
+A *distributed winning strategy* assigns each player a Boolean function
+of their observation — precisely a Skolem function — so the team wins
+iff the DQBF
+
+    forall x  exists m_1(obs_1) ... m_k(obs_k) :  win(x, m)
+
+is satisfied.  Players with incomparable observations give the formula
+genuinely non-linear (Henkin) dependencies, which is why QBF cannot
+express such games.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..aig.cnf_bridge import aig_to_cnf
+from ..aig.graph import Aig, complement
+from ..core.result import Limits, SAT, SolveResult
+from ..core.skolem import SkolemTable
+from ..formula.cnf import Cnf
+from ..formula.dqbf import Dqbf
+from ..formula.prefix import DependencyPrefix
+
+
+class Player:
+    """A team member: a name and the adversary variables it observes."""
+
+    def __init__(self, name: str, observes: Sequence[str]):
+        self.name = name
+        self.observes = list(observes)
+
+    def __repr__(self) -> str:
+        return f"Player({self.name}, observes={self.observes})"
+
+
+class BooleanGame:
+    """An incomplete-information team game against one adversary.
+
+    ``adversary_vars`` are the adversary's Boolean choices; each player
+    contributes one Boolean move.  The win condition is a propositional
+    formula built with :meth:`win_*` helpers over variable names — the
+    names of adversary variables and player names (a player's name
+    denotes its move).
+    """
+
+    def __init__(self, adversary_vars: Sequence[str]):
+        self.adversary_vars = list(adversary_vars)
+        self.players: List[Player] = []
+        self._win_clauses: List[List[Tuple[str, bool]]] = []
+
+    def add_player(self, name: str, observes: Sequence[str]) -> Player:
+        if name in self.adversary_vars:
+            raise ValueError(f"player name {name!r} collides with an adversary variable")
+        if any(p.name == name for p in self.players):
+            raise ValueError(f"duplicate player {name!r}")
+        unknown = set(observes) - set(self.adversary_vars)
+        if unknown:
+            raise ValueError(f"player {name!r} observes unknown variables {sorted(unknown)}")
+        player = Player(name, observes)
+        self.players.append(player)
+        return player
+
+    def add_win_clause(self, *literals: Tuple[str, bool]) -> None:
+        """Add one clause of the win condition (CNF over names).
+
+        Each literal is ``(name, polarity)``; the team must make every
+        clause true for all adversary plays.
+        """
+        known = set(self.adversary_vars) | {p.name for p in self.players}
+        for name, _polarity in literals:
+            if name not in known:
+                raise ValueError(f"unknown name {name!r} in win clause")
+        self._win_clauses.append(list(literals))
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+    def variable_map(self) -> Dict[str, int]:
+        """Stable name -> DIMACS variable numbering."""
+        mapping: Dict[str, int] = {}
+        for index, name in enumerate(self.adversary_vars, start=1):
+            mapping[name] = index
+        offset = len(self.adversary_vars)
+        for index, player in enumerate(self.players, start=1):
+            mapping[player.name] = offset + index
+        return mapping
+
+    def to_dqbf(self) -> Dqbf:
+        """Encode: forall adversary exists moves(observations): win."""
+        if not self._win_clauses:
+            raise ValueError("the game has no win condition")
+        mapping = self.variable_map()
+        prefix = DependencyPrefix()
+        for name in self.adversary_vars:
+            prefix.add_universal(mapping[name])
+        for player in self.players:
+            prefix.add_existential(
+                mapping[player.name], [mapping[o] for o in player.observes]
+            )
+        matrix = Cnf(num_vars=len(mapping))
+        for clause in self._win_clauses:
+            matrix.add_clause(
+                [mapping[name] if polarity else -mapping[name] for name, polarity in clause]
+            )
+        return Dqbf(prefix, matrix)
+
+    # ------------------------------------------------------------------
+    # solving
+    # ------------------------------------------------------------------
+    def has_winning_strategy(self, limits: Optional[Limits] = None) -> bool:
+        """Decide the game with HQS."""
+        from ..core.hqs import solve_dqbf
+
+        result = solve_dqbf(self.to_dqbf(), limits)
+        if not result.solved:
+            raise TimeoutError(f"game solving inconclusive: {result.status}")
+        return result.status == SAT
+
+    def winning_strategies(
+        self, limits: Optional[Limits] = None
+    ) -> Optional[Dict[str, SkolemTable]]:
+        """Return per-player strategy tables, or ``None`` if the team loses."""
+        from ..core.skolem import extract_certificate
+
+        result, tables = extract_certificate(self.to_dqbf(), limits)
+        if tables is None:
+            return None
+        mapping = self.variable_map()
+        inverse = {var: name for name, var in mapping.items()}
+        return {inverse[var]: table for var, table in tables.items()}
+
+    def play(
+        self,
+        strategies: Dict[str, SkolemTable],
+        adversary_play: Dict[str, bool],
+    ) -> bool:
+        """Simulate one round: does the team win against this play?"""
+        mapping = self.variable_map()
+        assignment = {mapping[n]: v for n, v in adversary_play.items()}
+        for player in self.players:
+            table = strategies[player.name]
+            assignment[mapping[player.name]] = table.evaluate(assignment)
+        return self.to_dqbf().matrix.evaluate(assignment)
+
+    def __repr__(self) -> str:
+        return (
+            f"BooleanGame(adversary={len(self.adversary_vars)}, "
+            f"players={len(self.players)}, clauses={len(self._win_clauses)})"
+        )
+
+
+def matching_pennies_team(n_bits: int = 1) -> BooleanGame:
+    """A classic: the adversary hides bits; player i sees only bit i but
+    the team must reproduce the XOR of all bits with the XOR of their
+    moves.  Winnable (each player echoes its observed bit) — but not
+    expressible as a QBF for n_bits >= 2."""
+    names = [f"x{i}" for i in range(n_bits)]
+    game = BooleanGame(names)
+    for i in range(n_bits):
+        game.add_player(f"p{i}", [f"x{i}"])
+    # win condition: xor(moves) == xor(bits); clausified for small n
+    import itertools
+
+    all_names = names + [f"p{i}" for i in range(n_bits)]
+    for values in itertools.product([False, True], repeat=2 * n_bits):
+        assignment = dict(zip(all_names, values))
+        bits = sum(assignment[n] for n in names) % 2
+        moves = sum(assignment[f"p{i}"] for i in range(n_bits)) % 2
+        if bits != moves:
+            # forbid this combination
+            game.add_win_clause(
+                *[(name, not value) for name, value in assignment.items()]
+            )
+    return game
+
+
+def blind_coordination(n_players: int = 2) -> BooleanGame:
+    """An unwinnable game: players see *nothing* but must match a hidden
+    coin.  No constant strategies work, so the DQBF is UNSAT."""
+    game = BooleanGame(["coin"])
+    for i in range(n_players):
+        game.add_player(f"p{i}", [])
+        game.add_win_clause((f"p{i}", True), ("coin", False))
+        game.add_win_clause((f"p{i}", False), ("coin", True))
+    return game

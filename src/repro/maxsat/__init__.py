@@ -1,0 +1,12 @@
+"""Partial MaxSAT substrate used for the minimum-elimination-set problem."""
+
+from .solver import MaxSatResult, PartialMaxSatSolver, solve_partial_maxsat
+from .totalizer import Totalizer, encode_at_most_k
+
+__all__ = [
+    "MaxSatResult",
+    "PartialMaxSatSolver",
+    "solve_partial_maxsat",
+    "Totalizer",
+    "encode_at_most_k",
+]

@@ -1,0 +1,96 @@
+"""Partial MaxSAT by assumption-based linear search (the antom stand-in).
+
+The instance consists of *hard* clauses, which must hold, and unit-weight
+*soft* clauses, of which as many as possible should hold.  The solver
+relaxes each soft clause with a fresh variable, builds a totalizer over
+the relaxation variables and searches the optimum from below: assume
+``#violated <= k`` for k = 0, 1, 2, ... until the SAT solver answers SAT.
+
+This search direction is ideal for the HQS use case (Section III-A of
+the paper): the optimum — the number of universal variables that must be
+eliminated — is usually tiny, so the first few iterations settle it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..sat.solver import SAT, UNSAT, CdclSolver
+from .totalizer import Totalizer
+
+
+class MaxSatResult:
+    """Optimum and model of a partial MaxSAT call."""
+
+    def __init__(self, satisfiable: bool, cost: int, model: Dict[int, bool]):
+        self.satisfiable = satisfiable
+        self.cost = cost
+        self.model = model
+
+    def __repr__(self) -> str:
+        status = "SAT" if self.satisfiable else "UNSAT"
+        return f"MaxSatResult({status}, cost={self.cost})"
+
+
+class PartialMaxSatSolver:
+    """Accumulate hard/soft clauses, then :meth:`solve`."""
+
+    def __init__(self) -> None:
+        self._hard: List[List[int]] = []
+        self._soft: List[List[int]] = []
+        self._max_var = 0
+
+    def add_hard(self, clause: Iterable[int]) -> None:
+        clause = list(clause)
+        self._note_vars(clause)
+        self._hard.append(clause)
+
+    def add_soft(self, clause: Iterable[int]) -> None:
+        clause = list(clause)
+        if not clause:
+            raise ValueError("soft clauses must be non-empty")
+        self._note_vars(clause)
+        self._soft.append(clause)
+
+    def _note_vars(self, clause: Sequence[int]) -> None:
+        for lit in clause:
+            if abs(lit) > self._max_var:
+                self._max_var = abs(lit)
+
+    def solve(self) -> MaxSatResult:
+        """Return the minimum number of violated soft clauses and a model."""
+        solver = CdclSolver()
+        solver.ensure_vars(self._max_var)
+        for clause in self._hard:
+            solver.add_clause(clause)
+
+        if solver.solve() == UNSAT:
+            return MaxSatResult(False, len(self._soft), {})
+
+        if not self._soft:
+            return MaxSatResult(True, 0, solver.model())
+
+        relax: List[int] = []
+        for clause in self._soft:
+            r = solver.new_var()
+            relax.append(r)
+            solver.add_clause(list(clause) + [r])
+
+        totalizer = Totalizer(relax, solver.new_var, solver.add_clause)
+        for bound in range(len(self._soft) + 1):
+            assumptions = totalizer.at_most_assumption(bound)
+            if solver.solve(assumptions) == SAT:
+                return MaxSatResult(True, bound, solver.model())
+        raise AssertionError("hard clauses satisfiable but no bound admitted a model")
+
+
+def solve_partial_maxsat(
+    hard: Iterable[Iterable[int]], soft: Iterable[Iterable[int]]
+) -> MaxSatResult:
+    """One-shot convenience wrapper."""
+    solver = PartialMaxSatSolver()
+    for clause in hard:
+        solver.add_hard(clause)
+    for clause in soft:
+        solver.add_soft(clause)
+    return solver.solve()

@@ -1,0 +1,80 @@
+"""Totalizer cardinality encoding (Bailleux & Boufkhad).
+
+Given input literals ``l_1..l_n`` the totalizer introduces output
+variables ``o_1..o_n`` such that in every model ``o_i`` is true whenever
+at least ``i`` inputs are true.  Upper bounds ``sum <= k`` are then
+enforced by asserting (or assuming) ``¬o_{k+1}``, which is exactly how
+the linear-search MaxSAT solver uses it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+
+class Totalizer:
+    """Totalizer tree over a list of input literals.
+
+    ``fresh_var`` must allocate a new variable on each call (typically
+    ``CdclSolver.new_var``).  Clauses are emitted through ``add_clause``.
+    """
+
+    def __init__(
+        self,
+        inputs: Sequence[int],
+        fresh_var: Callable[[], int],
+        add_clause: Callable[[List[int]], object],
+    ):
+        self.inputs = list(inputs)
+        self._fresh_var = fresh_var
+        self._add_clause = add_clause
+        self.outputs: List[int] = self._build(self.inputs)
+
+    def _build(self, lits: List[int]) -> List[int]:
+        if len(lits) <= 1:
+            return list(lits)
+        mid = len(lits) // 2
+        left = self._build(lits[:mid])
+        right = self._build(lits[mid:])
+        return self._merge(left, right)
+
+    def _merge(self, left: List[int], right: List[int]) -> List[int]:
+        total = len(left) + len(right)
+        outputs = [self._fresh_var() for _ in range(total)]
+        # sum(left) >= i and sum(right) >= j  implies  sum >= i+j
+        for i in range(len(left) + 1):
+            for j in range(len(right) + 1):
+                if i + j == 0:
+                    continue
+                clause: List[int] = []
+                if i > 0:
+                    clause.append(-left[i - 1])
+                if j > 0:
+                    clause.append(-right[j - 1])
+                clause.append(outputs[i + j - 1])
+                self._add_clause(clause)
+        return outputs
+
+    def at_most_assumption(self, bound: int) -> List[int]:
+        """Literals to assume so that at most ``bound`` inputs are true."""
+        if bound >= len(self.outputs):
+            return []
+        return [-self.outputs[bound]]
+
+    def at_most_clauses(self, bound: int) -> List[List[int]]:
+        """Clauses that permanently enforce ``sum <= bound``."""
+        if bound >= len(self.outputs):
+            return []
+        return [[-self.outputs[bound]]]
+
+
+def encode_at_most_k(
+    lits: Sequence[int],
+    k: int,
+    fresh_var: Callable[[], int],
+    add_clause: Callable[[List[int]], object],
+) -> None:
+    """Convenience helper: permanently assert ``sum(lits) <= k``."""
+    totalizer = Totalizer(lits, fresh_var, add_clause)
+    for clause in totalizer.at_most_clauses(k):
+        add_clause(clause)

@@ -1,0 +1,296 @@
+"""BLIF reader/writer for (incomplete) combinational circuits.
+
+Supports the subset needed for PEC workflows:
+
+* ``.model`` / ``.inputs`` / ``.outputs`` / ``.end``;
+* ``.names`` single-output covers (arbitrary SOP covers are imported by
+  synthesizing AND/OR/NOT networks; gates exported by this writer round
+  trip to their original kinds);
+* black boxes in standard BLIF style: a ``.model`` declared
+  ``.blackbox`` plus ``.subckt`` instantiations in the main model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .circuit import BlackBox, Circuit, Gate
+
+
+class BlifError(ValueError):
+    """Raised on malformed BLIF input."""
+
+
+# ----------------------------------------------------------------------
+# writing
+# ----------------------------------------------------------------------
+
+def write_blif(circuit: Circuit) -> str:
+    """Serialize a circuit; black boxes become ``.blackbox`` sub-models."""
+    lines = [f".model {circuit.name}"]
+    lines.append(".inputs " + " ".join(circuit.inputs))
+    lines.append(".outputs " + " ".join(circuit.outputs))
+    for box in circuit.black_boxes:
+        formals = [f"{_formal_in(i)}={sig}" for i, sig in enumerate(box.inputs)]
+        formals += [f"{_formal_out(i)}={sig}" for i, sig in enumerate(box.outputs)]
+        lines.append(f".subckt {box.name} " + " ".join(formals))
+    for gate in circuit.gates:
+        lines.extend(_gate_cover(gate))
+    lines.append(".end")
+    for box in circuit.black_boxes:
+        lines.append("")
+        lines.append(f".model {box.name}")
+        lines.append(".inputs " + " ".join(_formal_in(i) for i in range(len(box.inputs))))
+        lines.append(".outputs " + " ".join(_formal_out(i) for i in range(len(box.outputs))))
+        lines.append(".blackbox")
+        lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def _formal_in(index: int) -> str:
+    return f"in{index}"
+
+
+def _formal_out(index: int) -> str:
+    return f"out{index}"
+
+
+def _gate_cover(gate: Gate) -> List[str]:
+    header = ".names " + " ".join(gate.inputs + [gate.output])
+    n = len(gate.inputs)
+    if gate.kind == "const0":
+        return [f".names {gate.output}"]
+    if gate.kind == "const1":
+        return [f".names {gate.output}", "1"]
+    if gate.kind == "buf":
+        return [header, "1 1"]
+    if gate.kind == "not":
+        return [header, "0 1"]
+    if gate.kind == "and":
+        return [header, "1" * n + " 1"]
+    if gate.kind == "nand":
+        rows = []
+        for i in range(n):
+            rows.append("-" * i + "0" + "-" * (n - i - 1) + " 1")
+        return [header] + rows
+    if gate.kind == "or":
+        rows = []
+        for i in range(n):
+            rows.append("-" * i + "1" + "-" * (n - i - 1) + " 1")
+        return [header] + rows
+    if gate.kind == "nor":
+        return [header, "0" * n + " 1"]
+    if gate.kind in ("xor", "xnor"):
+        want_odd = gate.kind == "xor"
+        rows = []
+        for bits in range(1 << n):
+            ones = bin(bits).count("1")
+            if (ones % 2 == 1) == want_odd:
+                pattern = "".join(
+                    "1" if (bits >> i) & 1 else "0" for i in range(n)
+                )
+                rows.append(pattern + " 1")
+        return [header] + rows
+    raise BlifError(f"cannot export gate kind {gate.kind}")  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# parsing
+# ----------------------------------------------------------------------
+
+def parse_blif(text: str) -> Circuit:
+    """Parse BLIF text; returns the first (main) model as a circuit."""
+    models = _split_models(text)
+    if not models:
+        raise BlifError("no .model found")
+    main = models[0]
+    boxes = {m["name"]: m for m in models[1:] if m["blackbox"]}
+
+    circuit = Circuit(main["name"], main["inputs"], main["outputs"])
+    fresh = _FreshNames(set(main["inputs"]))
+
+    for formals, model_name in main["subckts"]:
+        spec = boxes.get(model_name)
+        if spec is None:
+            raise BlifError(f".subckt references unknown black box {model_name!r}")
+        binding = dict(formals)
+        try:
+            box_inputs = [binding[f] for f in spec["inputs"]]
+            box_outputs = [binding[f] for f in spec["outputs"]]
+        except KeyError as exc:
+            raise BlifError(f"unbound formal {exc} in subckt {model_name}") from exc
+        circuit.add_black_box(fresh.unique(model_name), box_inputs, box_outputs)
+
+    for names_inputs, output, rows in main["names"]:
+        _import_cover(circuit, fresh, names_inputs, output, rows)
+    return circuit
+
+
+class _FreshNames:
+    def __init__(self, taken):
+        self._taken = set(taken)
+        self._counter = 0
+
+    def unique(self, base: str) -> str:
+        name = base
+        while name in self._taken:
+            self._counter += 1
+            name = f"{base}_{self._counter}"
+        self._taken.add(name)
+        return name
+
+    def temp(self, base: str) -> str:
+        self._counter += 1
+        return self.unique(f"{base}__t{self._counter}")
+
+
+def _split_models(text: str) -> List[dict]:
+    models: List[dict] = []
+    current: Optional[dict] = None
+    pending_names: Optional[Tuple[List[str], str, List[str]]] = None
+
+    def flush_names():
+        nonlocal pending_names
+        if current is not None and pending_names is not None:
+            current["names"].append(pending_names)
+        pending_names = None
+
+    logical_lines = _logical_lines(text)
+    for line in logical_lines:
+        tokens = line.split()
+        if not tokens:
+            continue
+        keyword = tokens[0]
+        if keyword == ".model":
+            flush_names()
+            current = {
+                "name": tokens[1] if len(tokens) > 1 else f"model{len(models)}",
+                "inputs": [],
+                "outputs": [],
+                "names": [],
+                "subckts": [],
+                "blackbox": False,
+            }
+            models.append(current)
+        elif current is None:
+            raise BlifError(f"directive before .model: {line!r}")
+        elif keyword == ".inputs":
+            current["inputs"].extend(tokens[1:])
+        elif keyword == ".outputs":
+            current["outputs"].extend(tokens[1:])
+        elif keyword == ".blackbox":
+            current["blackbox"] = True
+        elif keyword == ".subckt":
+            if len(tokens) < 2:
+                raise BlifError(f"malformed .subckt: {line!r}")
+            formals = []
+            for assignment in tokens[2:]:
+                if "=" not in assignment:
+                    raise BlifError(f"malformed formal binding {assignment!r}")
+                formal, actual = assignment.split("=", 1)
+                formals.append((formal, actual))
+            current["subckts"].append((formals, tokens[1]))
+        elif keyword == ".names":
+            flush_names()
+            signals = tokens[1:]
+            if not signals:
+                raise BlifError(".names needs at least an output")
+            pending_names = (signals[:-1], signals[-1], [])
+        elif keyword == ".end":
+            flush_names()
+            current = None
+        elif keyword.startswith("."):
+            raise BlifError(f"unsupported directive {keyword!r}")
+        else:
+            if pending_names is None:
+                raise BlifError(f"cover row outside .names: {line!r}")
+            pending_names[2].append(line)
+    flush_names()
+    return models
+
+
+def _logical_lines(text: str) -> List[str]:
+    lines: List[str] = []
+    buffer = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if line.endswith("\\"):
+            buffer += line[:-1] + " "
+            continue
+        buffer += line
+        if buffer.strip():
+            lines.append(buffer.strip())
+        buffer = ""
+    if buffer.strip():
+        lines.append(buffer.strip())
+    return lines
+
+
+def _import_cover(
+    circuit: Circuit,
+    fresh: _FreshNames,
+    inputs: List[str],
+    output: str,
+    rows: List[str],
+) -> None:
+    """Synthesize a gate network computing a single-output SOP cover."""
+    if not rows:
+        circuit.add_gate(output, "const0", [])
+        return
+    parsed = []
+    for row in rows:
+        parts = row.split()
+        if len(parts) == 1 and not inputs:
+            if parts[0] != "1":
+                raise BlifError(f"constant cover row must be '1', got {row!r}")
+            circuit.add_gate(output, "const1", [])
+            return
+        if len(parts) != 2:
+            raise BlifError(f"malformed cover row {row!r}")
+        pattern, value = parts
+        if len(pattern) != len(inputs):
+            raise BlifError(f"pattern width mismatch in {row!r}")
+        if value != "1":
+            raise BlifError("only 1-covers are supported (writer emits 1-covers)")
+        parsed.append(pattern)
+
+    term_signals: List[str] = []
+    for pattern in parsed:
+        literal_signals: List[str] = []
+        for signal, care in zip(inputs, pattern):
+            if care == "-":
+                continue
+            if care == "1":
+                literal_signals.append(signal)
+            elif care == "0":
+                inverted = fresh.temp(f"n_{signal}")
+                circuit.add_gate(inverted, "not", [signal])
+                literal_signals.append(inverted)
+            else:
+                raise BlifError(f"invalid cover character {care!r}")
+        if not literal_signals:
+            # a row of don't-cares: constant 1 term
+            const = fresh.temp("one")
+            circuit.add_gate(const, "const1", [])
+            term_signals.append(const)
+        elif len(literal_signals) == 1:
+            term_signals.append(literal_signals[0])
+        else:
+            term = fresh.temp("and")
+            circuit.add_gate(term, "and", literal_signals)
+            term_signals.append(term)
+
+    if len(term_signals) == 1:
+        circuit.add_gate(output, "buf", [term_signals[0]])
+    else:
+        circuit.add_gate(output, "or", term_signals)
+
+
+def save_blif(circuit: Circuit, path: str) -> None:
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(write_blif(circuit))
+
+
+def load_blif(path: str) -> Circuit:
+    with open(path, "r", encoding="ascii") as handle:
+        return parse_blif(handle.read())

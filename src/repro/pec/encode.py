@@ -1,0 +1,210 @@
+"""PEC -> DQBF encoding (the reference application, following [10]).
+
+Given a complete *specification* circuit ``S`` and an incomplete
+*implementation* ``I`` containing black boxes, the realizability
+question — can the black boxes be implemented so that ``I`` becomes
+equivalent to ``S``? — is encoded as the DQBF
+
+    forall x  forall z   exists y_b(z_b) ... :
+        (AND_b  z_b == In_b(x, y))  ->  (I(x, y) == S(x))
+
+where ``x`` are the primary inputs, ``z_b`` fresh universal copies of
+black box ``b``'s input signals and ``y_b`` its outputs, which may
+depend exactly on ``z_b``.  The implication makes the Skolem functions
+for ``y_b`` — i.e. candidate black-box implementations — only
+accountable on the input combinations the circuit can actually produce.
+
+The matrix is Tseitin-encoded to CNF; auxiliary variables are
+existential with full dependency sets, exactly like DQDIMACS instances
+produced from real netlists, so HQS's gate detection has real work to
+do.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from ..aig.cnf_bridge import aig_to_cnf
+from ..aig.graph import Aig, complement
+from ..formula.cnf import Cnf
+from ..formula.dqbf import Dqbf
+from ..formula.prefix import DependencyPrefix
+from .circuit import BlackBox, Circuit
+
+
+class PecInstance:
+    """A generated PEC problem: the DQBF plus provenance metadata."""
+
+    def __init__(
+        self,
+        name: str,
+        family: str,
+        formula: Dqbf,
+        expected: Optional[bool],
+        spec: Circuit,
+        impl: Circuit,
+    ):
+        self.name = name
+        self.family = family
+        self.formula = formula
+        self.expected = expected
+        self.spec = spec
+        self.impl = impl
+
+    def __repr__(self) -> str:
+        tag = {True: "SAT", False: "UNSAT", None: "?"}[self.expected]
+        return f"PecInstance({self.name}, expected={tag})"
+
+
+class PecVariableMap:
+    """The variable numbering used by :func:`encode_pec`.
+
+    ``input_var`` maps primary inputs, ``z_var`` maps (box, signal)
+    pairs to the universal copies of box inputs, ``y_var`` maps
+    black-box output signals to their existential variables.
+    """
+
+    def __init__(
+        self,
+        input_var: Dict[str, int],
+        z_var: Dict[Tuple[str, str], int],
+        y_var: Dict[str, int],
+    ):
+        self.input_var = dict(input_var)
+        self.z_var = dict(z_var)
+        self.y_var = dict(y_var)
+
+
+def encode_pec(spec: Circuit, impl: Circuit) -> Dqbf:
+    """Encode the PEC problem for ``spec`` vs ``impl`` as a DQBF."""
+    formula, _variables = encode_pec_with_map(spec, impl)
+    return formula
+
+
+def encode_pec_with_map(spec: Circuit, impl: Circuit) -> Tuple[Dqbf, PecVariableMap]:
+    """Like :func:`encode_pec` but also return the variable numbering."""
+    spec.validate()
+    impl.validate()
+    if not spec.is_complete:
+        raise ValueError("specification must be complete (no black boxes)")
+    if set(spec.inputs) != set(impl.inputs):
+        raise ValueError("spec and implementation must share primary inputs")
+    if set(spec.outputs) != set(impl.outputs):
+        raise ValueError("spec and implementation must share primary outputs")
+
+    # --- variable allocation -------------------------------------------------
+    next_var = 1
+    input_var: Dict[str, int] = {}
+    for pi in impl.inputs:
+        input_var[pi] = next_var
+        next_var += 1
+    z_var: Dict[Tuple[str, str], int] = {}
+    for box in impl.black_boxes:
+        for sig in box.inputs:
+            z_var[(box.name, sig)] = next_var
+            next_var += 1
+    y_var: Dict[str, int] = {}
+    y_deps: Dict[str, List[int]] = {}
+    for box in impl.black_boxes:
+        box_z = [z_var[(box.name, sig)] for sig in box.inputs]
+        for out in box.outputs:
+            y_var[out] = next_var
+            y_deps[out] = box_z
+            next_var += 1
+
+    # --- matrix construction -------------------------------------------------
+    aig = Aig()
+    pi_edges = {pi: aig.var(var) for pi, var in input_var.items()}
+    y_edges = {out: aig.var(var) for out, var in y_var.items()}
+
+    impl_edges = impl.to_aig(aig, pi_edges, y_edges)
+    spec_edges = spec.to_aig(aig, pi_edges)
+
+    antecedent_terms = []
+    for box in impl.black_boxes:
+        for sig in box.inputs:
+            z_edge = aig.var(z_var[(box.name, sig)])
+            antecedent_terms.append(aig.lxnor(z_edge, impl_edges[sig]))
+    antecedent = aig.land_many(antecedent_terms)
+
+    consequent_terms = [
+        aig.lxnor(impl_edges[out], spec_edges[out]) for out in impl.outputs
+    ]
+    consequent = aig.land_many(consequent_terms)
+
+    matrix_edge = aig.lor(complement(antecedent), consequent)
+
+    # --- CNF + prefix ---------------------------------------------------------
+    # Tseitin auxiliaries must start above *all* allocated variables, not
+    # just those surviving in the (possibly simplified) matrix cone.
+    cnf, root_lit = aig_to_cnf(aig, matrix_edge, start_var=next_var - 1)
+    cnf.add_clause([root_lit])
+
+    prefix = DependencyPrefix()
+    universals: List[int] = []
+    for pi in impl.inputs:
+        prefix.add_universal(input_var[pi])
+        universals.append(input_var[pi])
+    for key in z_var:
+        prefix.add_universal(z_var[key])
+        universals.append(z_var[key])
+    for out, var in y_var.items():
+        prefix.add_existential(var, y_deps[out])
+    cnf_vars = cnf.variables()
+    for var in sorted(cnf_vars):
+        if not prefix.quantifies(var):
+            prefix.add_existential(var, universals)  # Tseitin auxiliaries
+
+    return Dqbf(prefix, cnf), PecVariableMap(input_var, z_var, y_var)
+
+
+# ----------------------------------------------------------------------
+# ground-truth oracle for small instances
+# ----------------------------------------------------------------------
+
+def brute_force_realizable(spec: Circuit, impl: Circuit, limit: int = 1 << 22) -> bool:
+    """Enumerate all black-box implementations and simulate (test oracle).
+
+    Only feasible for tiny interfaces; raises ``ValueError`` beyond
+    ``limit`` candidate combinations.
+    """
+    spec.validate()
+    impl.validate()
+    boxes = impl.black_boxes
+    table_sizes = []
+    for box in boxes:
+        rows = 1 << len(box.inputs)
+        for _out in box.outputs:
+            table_sizes.append(rows)
+    total = 1
+    for rows in table_sizes:
+        total *= 1 << rows
+        if total > limit:
+            raise ValueError(f"too many black box candidates ({total} > {limit})")
+
+    output_specs: List[Tuple[str, BlackBox]] = [
+        (out, box) for box in boxes for out in box.outputs
+    ]
+    input_vectors = list(itertools.product((False, True), repeat=len(impl.inputs)))
+
+    def tables_work(tables: Dict[str, Dict[Tuple[bool, ...], bool]]) -> bool:
+        for vector in input_vectors:
+            assignment = dict(zip(impl.inputs, vector))
+            if impl.simulate(assignment, tables) != spec.simulate(assignment):
+                return False
+        return True
+
+    choices = []
+    for out, box in output_specs:
+        rows = list(itertools.product((False, True), repeat=len(box.inputs)))
+        choices.append([(out, rows, bits) for bits in
+                        itertools.product((False, True), repeat=len(rows))])
+
+    for combo in itertools.product(*choices):
+        tables: Dict[str, Dict[Tuple[bool, ...], bool]] = {}
+        for out, rows, bits in combo:
+            tables[out] = dict(zip(rows, bits))
+        if tables_work(tables):
+            return True
+    return False

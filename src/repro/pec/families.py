@@ -1,0 +1,567 @@
+"""Generators for the seven PEC benchmark families of the paper.
+
+Each generator builds a complete specification circuit, derives an
+incomplete implementation by cutting subcircuits out into black boxes,
+and optionally injects a bug *outside* every black-box cone so the
+instance is unrealizable by construction:
+
+* clean instances are always realizable (the boxes can simply implement
+  the logic that was cut out) -> expected SAT;
+* bugged instances complement a primary-output driver whose cone is
+  black-box free -> the output differs from the spec for some input no
+  matter what the boxes do -> expected UNSAT.
+
+Families (scaled versions of the paper's 1820-instance suite):
+
+=========  =====================================================
+adder      ripple-carry adders, carry logic cut out
+bitcell    iterative arbiter bit cells (Dally & Harting)
+lookahead  arbiter with block lookahead (Dally & Harting)
+pec_xor    XOR chains from Finkbeiner & Tentrup
+z4         carry-select adder stand-in for ISCAS z4ml
+comp       iterative magnitude comparator stand-in
+c432       grouped priority interrupt controller stand-in
+=========  =====================================================
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .circuit import Circuit, Gate
+from .encode import PecInstance, encode_pec
+from .iscas import c432_like, comp_like, z4ml_like
+
+FAMILIES = ("adder", "bitcell", "lookahead", "pec_xor", "z4", "comp", "c432")
+
+# Families beyond the paper's Table I (motivated by its introduction).
+EXTENSION_FAMILIES = ("mult",)
+
+
+# ----------------------------------------------------------------------
+# specification circuits
+# ----------------------------------------------------------------------
+
+def ripple_adder(bits: int, name: str = "adder") -> Circuit:
+    """Ripple-carry adder: inputs a*, b*, cin; outputs s*, cout."""
+    inputs = [f"a{i}" for i in range(bits)] + [f"b{i}" for i in range(bits)] + ["cin"]
+    outputs = [f"s{i}" for i in range(bits)] + ["cout"]
+    c = Circuit(name, inputs, outputs)
+    carry = "cin"
+    for i in range(bits):
+        c.add_gate(f"p{i}", "xor", [f"a{i}", f"b{i}"])
+        c.add_gate(f"g{i}", "and", [f"a{i}", f"b{i}"])
+        c.add_gate(f"s{i}", "xor", [f"p{i}", carry])
+        c.add_gate(f"t{i}", "and", [f"p{i}", carry])
+        c.add_gate(f"c{i + 1}", "or", [f"g{i}", f"t{i}"])
+        carry = f"c{i + 1}"
+    c.add_gate("cout", "buf", [carry])
+    return c
+
+
+def bitcell_arbiter(cells: int, name: str = "bitcell") -> Circuit:
+    """Iterative fixed-priority arbiter: grant_i = r_i AND no earlier request."""
+    inputs = [f"r{i}" for i in range(cells)]
+    outputs = [f"gr{i}" for i in range(cells)]
+    c = Circuit(name, inputs, outputs)
+    c.add_gate("c0", "const0", [])
+    carry = "c0"
+    for i in range(cells):
+        c.add_gate(f"nc{i}", "not", [carry])
+        c.add_gate(f"gr{i}", "and", [f"r{i}", f"nc{i}"])
+        c.add_gate(f"c{i + 1}", "or", [carry, f"r{i}"])
+        carry = f"c{i + 1}"
+    return c
+
+
+def lookahead_arbiter(blocks: int, block_size: int = 4, name: str = "lookahead") -> Circuit:
+    """Arbiter with block lookahead: per-block any-request signals gate
+    the within-block priority chains (Dally & Harting, Ch. 8)."""
+    cells = blocks * block_size
+    inputs = [f"r{i}" for i in range(cells)]
+    outputs = [f"gr{i}" for i in range(cells)]
+    c = Circuit(name, inputs, outputs)
+
+    # block-level lookahead: any_b = OR of the block's requests,
+    # blocked_b = OR of any_0..any_{b-1}
+    for b in range(blocks):
+        c.add_gate(f"any{b}", "or", [f"r{b * block_size + j}" for j in range(block_size)])
+    c.add_gate("blocked0", "const0", [])
+    for b in range(1, blocks):
+        c.add_gate(f"blocked{b}", "or", [f"blocked{b - 1}", f"any{b - 1}"])
+
+    # within-block chains, gated by the lookahead
+    for b in range(blocks):
+        c.add_gate(f"en{b}", "not", [f"blocked{b}"])
+        chain = None
+        for j in range(block_size):
+            i = b * block_size + j
+            if chain is None:
+                c.add_gate(f"sel{i}", "buf", [f"r{i}"])
+                c.add_gate(f"chain{i}", "buf", [f"r{i}"])
+            else:
+                c.add_gate(f"nch{i}", "not", [chain])
+                c.add_gate(f"sel{i}", "and", [f"r{i}", f"nch{i}"])
+                c.add_gate(f"chain{i}", "or", [chain, f"r{i}"])
+            chain = f"chain{i}"
+            c.add_gate(f"gr{i}", "and", [f"sel{i}", f"en{b}"])
+    return c
+
+
+def array_multiplier(bits: int, name: str = "mult") -> Circuit:
+    """A combinational array multiplier: ``p = a * b`` (LSB first).
+
+    Not part of the paper's Table I, but its introduction motivates
+    exactly this workload: "circuits can also be incomplete because
+    parts have been removed that are notoriously hard to verify like
+    multipliers".  The extension family ``mult`` cuts partial-product
+    or carry cells out of this netlist.
+    """
+    inputs = [f"a{i}" for i in range(bits)] + [f"b{i}" for i in range(bits)]
+    outputs = [f"p{i}" for i in range(2 * bits)]
+    c = Circuit(name, inputs, outputs)
+
+    # partial products
+    for i in range(bits):
+        for j in range(bits):
+            c.add_gate(f"pp{i}_{j}", "and", [f"a{i}", f"b{j}"])
+
+    # row-by-row carry-save accumulation: row j adds pp*_j at offset j
+    c.add_gate("zero", "const0", [])
+    acc = {k: "zero" for k in range(2 * bits)}
+    for i in range(bits):
+        acc[i] = f"pp{i}_0"
+    for j in range(1, bits):
+        carry = "zero"
+        for i in range(bits):
+            position = i + j
+            s_in = acc[position]
+            pp = f"pp{i}_{j}"
+            c.add_gate(f"x{j}_{i}", "xor", [s_in, pp])
+            c.add_gate(f"s{j}_{i}", "xor", [f"x{j}_{i}", carry])
+            c.add_gate(f"m{j}_{i}", "and", [s_in, pp])
+            c.add_gate(f"n{j}_{i}", "and", [f"x{j}_{i}", carry])
+            c.add_gate(f"c{j}_{i}", "or", [f"m{j}_{i}", f"n{j}_{i}"])
+            acc[position] = f"s{j}_{i}"
+            carry = f"c{j}_{i}"
+        # propagate the final carry of this row upward
+        position = j + bits
+        c.add_gate(f"x{j}_f", "xor", [acc[position], carry])
+        c.add_gate(f"m{j}_f", "and", [acc[position], carry])
+        acc[position] = f"x{j}_f"
+        if position + 1 < 2 * bits:
+            # ripple the (rare) overflow one more position
+            c.add_gate(f"x{j}_g", "xor", [acc[position + 1], f"m{j}_f"])
+            acc[position + 1] = f"x{j}_g"
+
+    for k in range(2 * bits):
+        c.add_gate(f"p{k}", "buf", [acc[k]])
+    return c
+
+
+def make_mult(bits: int, num_boxes: int, buggy: bool, seed: int = 0) -> PecInstance:
+    """Multiplier PEC instance: partial-product gates cut out."""
+    rng = random.Random(seed)
+    spec = array_multiplier(bits)
+    candidates = [f"pp{i}_{j}" for i in range(bits) for j in range(1, bits)]
+    positions = rng.sample(candidates, min(num_boxes, len(candidates)))
+    incomplete = cut_black_boxes(spec, positions)
+    # p0 = a0 & b0 only; its cone never contains the cut partial products
+    bug_candidates = ["p0"]
+    name = f"mult_{bits}_{num_boxes}b_s{seed}_{'bug' if buggy else 'ok'}"
+    return _finish(name, "mult", spec, incomplete, buggy, bug_candidates, rng)
+
+
+def xor_chain(length: int, name: str = "pec_xor") -> Circuit:
+    """Parity chain out = x0 xor x1 xor ... (Finkbeiner & Tentrup family)."""
+    inputs = [f"x{i}" for i in range(length)]
+    c = Circuit(name, inputs, ["out"])
+    prev = "x0"
+    for i in range(1, length):
+        out = "out" if i == length - 1 else f"t{i}"
+        c.add_gate(out, "xor", [prev, f"x{i}"])
+        prev = out
+    return c
+
+
+# ----------------------------------------------------------------------
+# black-box cutting and bug injection
+# ----------------------------------------------------------------------
+
+def cut_black_boxes(circuit: Circuit, gate_outputs: Sequence[str], prefix: str = "bb") -> Circuit:
+    """Return a copy of ``circuit`` with the listed gates replaced by
+    one black box each (inputs = the gate's inputs)."""
+    chosen = set(gate_outputs)
+    incomplete = Circuit(circuit.name + "_inc", circuit.inputs, circuit.outputs)
+    for box in circuit.black_boxes:
+        incomplete.add_black_box(box.name, box.inputs, box.outputs)
+    index = 0
+    for gate in circuit.gates:
+        if gate.output in chosen:
+            incomplete.add_black_box(f"{prefix}{index}", gate.inputs, [gate.output])
+            index += 1
+        else:
+            incomplete.add_gate(gate.output, gate.kind, gate.inputs)
+    if index != len(chosen):
+        missing = chosen - {g.output for g in circuit.gates}
+        raise ValueError(f"gates not found for black boxes: {sorted(missing)}")
+    return incomplete
+
+
+def cut_region_black_box(
+    circuit: Circuit, gate_outputs: Sequence[str], box_name: str
+) -> Circuit:
+    """Replace a *set* of gates by a single multi-output black box.
+
+    The box's inputs are all signals the region reads from outside, its
+    outputs all region signals read outside (or primary outputs).
+    """
+    region = {g.output for g in circuit.gates if g.output in set(gate_outputs)}
+    if len(region) != len(set(gate_outputs)):
+        raise ValueError("region gates not found")
+    reads: List[str] = []
+    for gate in circuit.gates:
+        if gate.output in region:
+            for sig in gate.inputs:
+                if sig not in region and sig not in reads:
+                    reads.append(sig)
+    used_outside: List[str] = []
+    for gate in circuit.gates:
+        if gate.output not in region:
+            for sig in gate.inputs:
+                if sig in region and sig not in used_outside:
+                    used_outside.append(sig)
+    for out in circuit.outputs:
+        if out in region and out not in used_outside:
+            used_outside.append(out)
+
+    incomplete = Circuit(circuit.name + "_inc", circuit.inputs, circuit.outputs)
+    for box in circuit.black_boxes:
+        incomplete.add_black_box(box.name, box.inputs, box.outputs)
+    incomplete.add_black_box(box_name, reads, used_outside)
+    for gate in circuit.gates:
+        if gate.output not in region:
+            incomplete.add_gate(gate.output, gate.kind, gate.inputs)
+    return incomplete
+
+
+_COMPLEMENT_KIND = {
+    "and": "nand",
+    "nand": "and",
+    "or": "nor",
+    "nor": "or",
+    "xor": "xnor",
+    "xnor": "xor",
+    "buf": "not",
+    "not": "buf",
+    "const0": "const1",
+    "const1": "const0",
+}
+
+# A "subtle" bug swaps the gate for a *different but not complementary*
+# function: the outputs then differ only on some input patterns, so
+# instantiation-based solvers must discover a revealing assignment
+# instead of refuting the very first ground set.
+_SUBTLE_KIND = {
+    "and": "or",
+    "or": "and",
+    "xor": "or",
+    "xnor": "nand",
+    "nand": "xnor",
+    "nor": "xor",
+}
+
+
+def inject_bug(circuit: Circuit, gate_output: str, subtle: bool = False) -> Circuit:
+    """Replace the function of one gate (a classic netlist bug).
+
+    ``subtle=False`` complements the gate (output differs everywhere);
+    ``subtle=True`` swaps it for a different function that agrees on
+    part of the input space (falls back to complementing when the kind
+    has no subtle variant).
+    """
+    bugged = Circuit(circuit.name + "_bug", circuit.inputs, circuit.outputs)
+    found = False
+    for gate in circuit.gates:
+        if gate.output == gate_output:
+            table = _SUBTLE_KIND if subtle else _COMPLEMENT_KIND
+            new_kind = table.get(gate.kind, _COMPLEMENT_KIND[gate.kind])
+            bugged.add_gate(gate.output, new_kind, gate.inputs)
+            found = True
+        else:
+            bugged.add_gate(gate.output, gate.kind, gate.inputs)
+    for box in circuit.black_boxes:
+        bugged.add_black_box(box.name, box.inputs, box.outputs)
+    if not found:
+        raise ValueError(f"gate {gate_output} not found")
+    return bugged
+
+
+def output_function_differs(spec: Circuit, other: Circuit, output: str) -> bool:
+    """SAT miter check: do two *complete* circuits differ on ``output``?"""
+    from ..aig.cnf_bridge import is_satisfiable
+    from ..aig.graph import Aig
+
+    aig = Aig()
+    input_edges = {pi: aig.var(i + 1) for i, pi in enumerate(spec.inputs)}
+    e1 = spec.to_aig(aig, input_edges)[output]
+    e2 = other.to_aig(aig, dict(input_edges))[output]
+    return is_satisfiable(aig, aig.lxor(e1, e2))
+
+
+def black_box_free_cone(circuit: Circuit, signal: str) -> bool:
+    """True iff the transitive fanin cone of ``signal`` contains no black box."""
+    driven = circuit.drivers()
+    stack = [signal]
+    seen = set()
+    while stack:
+        sig = stack.pop()
+        if sig in seen:
+            continue
+        seen.add(sig)
+        driver = driven.get(sig)
+        if driver is None:
+            continue
+        if not isinstance(driver, Gate):
+            return False
+        stack.extend(driver.inputs)
+    return True
+
+
+# ----------------------------------------------------------------------
+# family instance generators
+# ----------------------------------------------------------------------
+
+def _finish(
+    name: str,
+    family: str,
+    spec: Circuit,
+    incomplete: Circuit,
+    buggy: bool,
+    bug_candidates: Sequence[str],
+    rng: random.Random,
+    subtle_fraction: float = 0.6,
+) -> PecInstance:
+    """Finalize an instance: optionally bug a black-box-free output gate.
+
+    Clean instances are realizable by construction.  Bugged instances
+    alter the driver of a primary output whose cone contains no black
+    box, so the output is a fixed function of the inputs that provably
+    (miter-checked) differs from the specification -> unrealizable.
+    """
+    expected: Optional[bool] = True
+    impl = incomplete
+    if buggy:
+        safe = [s for s in bug_candidates if black_box_free_cone(incomplete, s)]
+        if not safe:
+            raise ValueError(f"{name}: no black-box-free output to bug")
+        target = rng.choice(safe)
+        subtle = rng.random() < subtle_fraction
+        impl = inject_bug(incomplete, target, subtle=subtle)
+        if subtle:
+            # Guarantee the bug is observable: the complete spec with the
+            # same bug must differ on that output; otherwise fall back to
+            # a complementing bug, which always differs.
+            spec_bug = inject_bug(spec, target, subtle=True)
+            if not output_function_differs(spec, spec_bug, target):
+                impl = inject_bug(incomplete, target, subtle=False)
+        expected = False
+    formula = encode_pec(spec, impl)
+    return PecInstance(name, family, formula, expected, spec, impl)
+
+
+def make_adder(bits: int, num_boxes: int, buggy: bool, seed: int = 0) -> PecInstance:
+    """Adder PEC instance: carry gates of ``num_boxes`` positions cut out."""
+    rng = random.Random(seed)
+    spec = ripple_adder(bits)
+    positions = rng.sample(range(1, bits), min(num_boxes, bits - 1))
+    cuts = [f"c{p + 1}" for p in positions]
+    incomplete = cut_black_boxes(spec, cuts)
+    bug_candidates = [f"s{i}" for i in range(bits)]
+    name = f"adder_{bits}_{num_boxes}b_s{seed}_{'bug' if buggy else 'ok'}"
+    return _finish(name, "adder", spec, incomplete, buggy, bug_candidates, rng)
+
+
+def make_bitcell(cells: int, num_boxes: int, buggy: bool, seed: int = 0) -> PecInstance:
+    """Bitcell arbiter instance: grant gates of some cells cut out."""
+    rng = random.Random(seed)
+    spec = bitcell_arbiter(cells)
+    positions = rng.sample(range(1, cells), min(num_boxes, cells - 1))
+    cuts = [f"gr{p}" for p in positions]
+    incomplete = cut_black_boxes(spec, cuts)
+    bug_candidates = [f"gr{i}" for i in range(cells) if i not in positions]
+    name = f"bitcell_{cells}_{num_boxes}b_s{seed}_{'bug' if buggy else 'ok'}"
+    return _finish(name, "bitcell", spec, incomplete, buggy, bug_candidates, rng)
+
+
+def make_lookahead(
+    blocks: int, num_boxes: int, buggy: bool, seed: int = 0, block_size: int = 4
+) -> PecInstance:
+    """Lookahead arbiter instance: per-block any-request gates cut out."""
+    rng = random.Random(seed)
+    spec = lookahead_arbiter(blocks, block_size)
+    positions = rng.sample(range(blocks), min(num_boxes, blocks))
+    cuts = [f"any{b}" for b in positions]
+    incomplete = cut_black_boxes(spec, cuts)
+    # grants inside un-cut blocks that precede every cut block are BB-free
+    bug_candidates = [f"gr{i}" for i in range(blocks * block_size)]
+    name = f"lookahead_{blocks}x{block_size}_{num_boxes}b_s{seed}_{'bug' if buggy else 'ok'}"
+    return _finish(name, "lookahead", spec, incomplete, buggy, bug_candidates, rng)
+
+
+def make_pec_xor(length: int, num_boxes: int, buggy: bool, seed: int = 0) -> PecInstance:
+    """XOR-chain instance: interior XOR gates cut out."""
+    rng = random.Random(seed)
+    spec = xor_chain(length)
+    interior = [f"t{i}" for i in range(1, length - 1)]
+    positions = rng.sample(interior, min(num_boxes, len(interior)))
+    incomplete = cut_black_boxes(spec, positions)
+    # the final gate drives the only output; its cone contains the boxes,
+    # so bugs go into the *spec-equivalent* tail by complementing "out"
+    # only when the chain end is BB-free — otherwise bug an input tap.
+    bug_candidates = ["out"]
+    name = f"pec_xor_{length}_{num_boxes}b_s{seed}_{'bug' if buggy else 'ok'}"
+    if buggy:
+        # complementing 'out' always works for realizability analysis even
+        # with boxes upstream: parity of remaining chain cannot flip sign?
+        # It can — boxes could absorb an inversion.  Instead extend the
+        # spec with an extra input tap the implementation lacks.
+        spec_bug = xor_chain(length)
+        impl = incomplete
+        # spec computes parity; bugged impl ties the last stage to AND
+        impl = _xor_break_tail(incomplete)
+        formula = encode_pec(spec_bug, impl)
+        return PecInstance(name, "pec_xor", formula, False, spec_bug, impl)
+    return _finish(name, "pec_xor", spec, incomplete, False, bug_candidates, rng)
+
+
+def _xor_break_tail(incomplete: Circuit) -> Circuit:
+    """Replace the final XOR by AND: unrealizable because no black-box
+    choice can recover the parity function through a non-linear tail."""
+    bugged = Circuit(incomplete.name + "_bug", incomplete.inputs, incomplete.outputs)
+    for gate in incomplete.gates:
+        if gate.output == "out":
+            bugged.add_gate("out", "and", gate.inputs)
+        else:
+            bugged.add_gate(gate.output, gate.kind, gate.inputs)
+    for box in incomplete.black_boxes:
+        bugged.add_black_box(box.name, box.inputs, box.outputs)
+    return bugged
+
+
+def make_z4(bits: int, num_boxes: int, buggy: bool, seed: int = 0) -> PecInstance:
+    """z4ml-style carry-select adder instance: selection muxes cut out."""
+    rng = random.Random(seed)
+    spec = z4ml_like(bits)
+    half = bits // 2
+    candidates = [f"selhi{i}" for i in range(half, bits)] + [
+        f"sello{i}" for i in range(half, bits)
+    ]
+    positions = rng.sample(candidates, min(num_boxes, len(candidates)))
+    incomplete = cut_black_boxes(spec, positions)
+    bug_candidates = [f"s{i}" for i in range(half)]  # lower half is BB-free
+    name = f"z4_{bits}_{num_boxes}b_s{seed}_{'bug' if buggy else 'ok'}"
+    return _finish(name, "z4", spec, incomplete, buggy, bug_candidates, rng)
+
+
+def make_comp(bits: int, num_boxes: int, buggy: bool, seed: int = 0) -> PecInstance:
+    """Comparator instance: whole comparator stages cut out as regions.
+
+    Region boxes have wide interfaces (a_i, b_i, eq_in, gt_in ->
+    eq_out, gt_out), which is what makes comp hard for elimination.
+    """
+    rng = random.Random(seed)
+    spec = comp_like(bits)
+    stage_indices = rng.sample(range(bits - 1), min(num_boxes, bits - 1))
+    incomplete = spec
+    for n, i in enumerate(sorted(stage_indices, reverse=True)):
+        region = [f"x{i}", f"nb{i}", f"w{i}", f"v{i}", f"gtc{i}", f"eqc{i}"]
+        incomplete = cut_region_black_box(incomplete, region, f"bb{n}")
+    incomplete.name = spec.name + "_inc"
+    # `par` is computed by a stand-alone XOR, so its cone is always
+    # black-box free: the canonical bug location for UNSAT instances.
+    bug_candidates = ["par"]
+    name = f"comp_{bits}_{num_boxes}b_s{seed}_{'bug' if buggy else 'ok'}"
+    return _finish(name, "comp", spec, incomplete, buggy, bug_candidates, rng)
+
+
+def make_c432(
+    groups: int, channels: int, num_boxes: int, buggy: bool, seed: int = 0
+) -> PecInstance:
+    """C432-style interrupt controller: per-group encoders cut as regions."""
+    rng = random.Random(seed)
+    spec = c432_like(groups, channels)
+    group_indices = rng.sample(range(groups), min(num_boxes, groups))
+    incomplete = spec
+    for n, g in enumerate(sorted(group_indices, reverse=True)):
+        region = []
+        for k in range(channels):
+            region.append(f"sel{g}_{k}")
+            region.append(f"tk{g}_{k}")
+            if k > 0:
+                region.append(f"ntk{g}_{k}")
+        incomplete = cut_region_black_box(incomplete, region, f"bb{n}")
+    incomplete.name = spec.name + "_inc"
+    bug_candidates = [f"grant{g}" for g in range(groups)]
+    name = f"c432_{groups}x{channels}_{num_boxes}b_s{seed}_{'bug' if buggy else 'ok'}"
+    return _finish(name, "c432", spec, incomplete, buggy, bug_candidates, rng)
+
+
+# ----------------------------------------------------------------------
+# suite generation
+# ----------------------------------------------------------------------
+
+def generate_family(
+    family: str,
+    count: int,
+    scale: float = 1.0,
+    sat_fraction: float = 0.2,
+    seed: int = 2015,
+) -> List[PecInstance]:
+    """Generate ``count`` instances of a family at a given size ``scale``.
+
+    ``sat_fraction`` controls the realizable/unrealizable mix (the paper's
+    suite is mostly UNSAT: 213 SAT / 1342 UNSAT among solved).
+    """
+    rng = random.Random(seed ^ hash(family))
+    instances: List[PecInstance] = []
+    for index in range(count):
+        buggy = rng.random() >= sat_fraction
+        inst_seed = rng.randrange(1 << 30)
+        size_jitter = rng.choice([0, 0, 1, 1, 2])
+        if family == "adder":
+            bits = max(3, int(4 * scale) + size_jitter)
+            boxes = rng.choice([1, 2, 2])
+            instances.append(make_adder(bits, boxes, buggy, inst_seed))
+        elif family == "bitcell":
+            cells = max(4, int(5 * scale) + size_jitter)
+            boxes = rng.choice([1, 2, 2])
+            instances.append(make_bitcell(cells, boxes, buggy, inst_seed))
+        elif family == "lookahead":
+            blocks = max(2, int(2 * scale) + size_jitter)
+            boxes = rng.choice([1, 2])
+            instances.append(make_lookahead(blocks, boxes, buggy, inst_seed))
+        elif family == "pec_xor":
+            length = max(4, int(6 * scale) + size_jitter)
+            boxes = rng.choice([1, 2])
+            instances.append(make_pec_xor(length, boxes, buggy, inst_seed))
+        elif family == "z4":
+            bits = max(4, 2 * (int(2 * scale) + size_jitter // 2))
+            boxes = rng.choice([1, 2])
+            instances.append(make_z4(bits, boxes, buggy, inst_seed))
+        elif family == "comp":
+            bits = max(4, int(5 * scale) + size_jitter)
+            boxes = rng.choice([2, 2, 3])
+            instances.append(make_comp(bits, boxes, buggy, inst_seed))
+        elif family == "c432":
+            channels = max(3, int(4 * scale) + size_jitter)
+            boxes = rng.choice([2, 3])
+            instances.append(make_c432(3, channels, boxes, buggy, inst_seed))
+        elif family == "mult":
+            bits = max(2, int(2 * scale) + size_jitter // 2)
+            boxes = rng.choice([1, 2])
+            instances.append(make_mult(bits, boxes, buggy, inst_seed))
+        else:
+            raise ValueError(f"unknown family {family!r}")
+    return instances

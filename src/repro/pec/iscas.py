@@ -1,0 +1,156 @@
+"""Synthetic stand-ins for the ISCAS'85-style circuits of the paper.
+
+The paper's z4, comp and C432 PEC benchmarks are built from the ISCAS'85
+library (z4ml: a small carry-select adder; comp: an iterative magnitude
+comparator; C432: a 27-channel priority interrupt controller).  We
+reconstruct parameterized netlists with the same *structure* — adder
+with redundant carry chains, iterative comparator cells, grouped
+priority encoding — so the PEC instances cut from them exercise the
+same solver behaviour (wide black-box interfaces, deep carry/priority
+chains) at laptop scale.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .circuit import Circuit
+
+
+def z4ml_like(bits: int = 4, name: str = "z4") -> Circuit:
+    """A carry-select adder in the spirit of z4ml.
+
+    Inputs ``a0..``, ``b0..``, ``cin``; outputs the sum bits ``s0..``.
+    The upper half is computed twice (for carry-in 0 and 1) and selected
+    by the real carry — the redundant structure that makes z4ml PEC
+    instances interesting.
+    """
+    inputs = [f"a{i}" for i in range(bits)] + [f"b{i}" for i in range(bits)] + ["cin"]
+    outputs = [f"s{i}" for i in range(bits)]
+    c = Circuit(name, inputs, outputs)
+
+    half = bits // 2
+    # lower half: plain ripple
+    carry = "cin"
+    for i in range(half):
+        c.add_gate(f"p{i}", "xor", [f"a{i}", f"b{i}"])
+        c.add_gate(f"g{i}", "and", [f"a{i}", f"b{i}"])
+        c.add_gate(f"s{i}", "xor", [f"p{i}", carry])
+        c.add_gate(f"t{i}", "and", [f"p{i}", carry])
+        c.add_gate(f"c{i + 1}", "or", [f"g{i}", f"t{i}"])
+        carry = f"c{i + 1}"
+
+    # upper half: two ripple chains, selected by `carry`
+    for tag, cin0 in (("z", "k0"), ("o", "k1")):
+        const = "const0" if tag == "z" else "const1"
+        c.add_gate(cin0, const, [])
+        chain = cin0
+        for i in range(half, bits):
+            c.add_gate(f"{tag}p{i}", "xor", [f"a{i}", f"b{i}"])
+            c.add_gate(f"{tag}g{i}", "and", [f"a{i}", f"b{i}"])
+            c.add_gate(f"{tag}s{i}", "xor", [f"{tag}p{i}", chain])
+            c.add_gate(f"{tag}t{i}", "and", [f"{tag}p{i}", chain])
+            c.add_gate(f"{tag}c{i + 1}", "or", [f"{tag}g{i}", f"{tag}t{i}"])
+            chain = f"{tag}c{i + 1}"
+
+    # selection muxes: s_i = carry ? o_s_i : z_s_i
+    for i in range(half, bits):
+        c.add_gate(f"selhi{i}", "and", ["carrysel", f"os{i}"])
+        c.add_gate(f"sello{i}", "and", ["ncarrysel", f"zs{i}"])
+        c.add_gate(f"s{i}", "or", [f"selhi{i}", f"sello{i}"])
+    c.add_gate("carrysel", "buf", [carry])
+    c.add_gate("ncarrysel", "not", ["carrysel"])
+    return c
+
+
+def comp_like(bits: int = 4, name: str = "comp") -> Circuit:
+    """An iterative magnitude comparator (the `comp` stand-in).
+
+    Inputs ``a0..``, ``b0..`` (LSB first); outputs ``gt``, ``eq`` and a
+    parity flag ``par`` over the ``a`` operand (real comparator ICs often
+    bundle such check bits; here it also gives PEC bug injection a
+    black-box-free cone).  Each stage updates (eq, gt) from the next more
+    significant bit pair, forming the long combinational chain
+    characteristic of comp.
+    """
+    inputs = [f"a{i}" for i in range(bits)] + [f"b{i}" for i in range(bits)]
+    c = Circuit(name, inputs, ["gt", "eq", "par"])
+    c.add_gate("par", "xor", [f"a{i}" for i in range(bits)])
+    c.add_gate("eqin", "const1", [])
+    c.add_gate("gtin", "const0", [])
+    eq_prev, gt_prev = "eqin", "gtin"
+    # iterate from MSB down to LSB
+    for rank, i in enumerate(reversed(range(bits))):
+        c.add_gate(f"x{i}", "xnor", [f"a{i}", f"b{i}"])
+        c.add_gate(f"nb{i}", "not", [f"b{i}"])
+        c.add_gate(f"w{i}", "and", [f"a{i}", f"nb{i}"])       # a_i > b_i
+        c.add_gate(f"v{i}", "and", [eq_prev, f"w{i}"])        # still equal, now bigger
+        c.add_gate(f"gtc{i}", "or", [gt_prev, f"v{i}"])
+        c.add_gate(f"eqc{i}", "and", [eq_prev, f"x{i}"])
+        eq_prev, gt_prev = f"eqc{i}", f"gtc{i}"
+    c.add_gate("gt", "buf", [gt_prev])
+    c.add_gate("eq", "buf", [eq_prev])
+    return c
+
+
+def c432_like(groups: int = 3, channels: int = 4, name: str = "c432") -> Circuit:
+    """A grouped priority interrupt controller (the C432 stand-in).
+
+    ``groups`` request groups with ``channels`` request lines each plus a
+    per-group enable.  The controller grants the highest-priority group
+    with an active enabled request and encodes the granted channel
+    within the group.  Outputs: per-group grant flags and the binary
+    channel index.
+    """
+    inputs: List[str] = []
+    for g in range(groups):
+        inputs.append(f"en{g}")
+        inputs += [f"r{g}_{k}" for k in range(channels)]
+    index_bits = max(1, (channels - 1).bit_length())
+    outputs = [f"grant{g}" for g in range(groups)] + [f"idx{b}" for b in range(index_bits)]
+    c = Circuit(name, inputs, outputs)
+
+    # per-group: any enabled request
+    for g in range(groups):
+        c.add_gate(f"anyreq{g}", "or", [f"r{g}_{k}" for k in range(channels)])
+        c.add_gate(f"act{g}", "and", [f"en{g}", f"anyreq{g}"])
+
+    # group priority: grant g iff act_g and no lower-indexed group active
+    blocked = None
+    for g in range(groups):
+        if blocked is None:
+            c.add_gate(f"grant{g}", "buf", [f"act{g}"])
+            c.add_gate(f"blk{g}", "buf", [f"act{g}"])
+        else:
+            c.add_gate(f"nblk{g}", "not", [blocked])
+            c.add_gate(f"grant{g}", "and", [f"act{g}", f"nblk{g}"])
+            c.add_gate(f"blk{g}", "or", [blocked, f"act{g}"])
+        blocked = f"blk{g}"
+
+    # per-group channel priority encoder, masked by the group grant
+    for g in range(groups):
+        taken = None
+        for k in range(channels):
+            if taken is None:
+                c.add_gate(f"sel{g}_{k}", "buf", [f"r{g}_{k}"])
+                c.add_gate(f"tk{g}_{k}", "buf", [f"r{g}_{k}"])
+            else:
+                c.add_gate(f"ntk{g}_{k}", "not", [taken])
+                c.add_gate(f"sel{g}_{k}", "and", [f"r{g}_{k}", f"ntk{g}_{k}"])
+                c.add_gate(f"tk{g}_{k}", "or", [taken, f"r{g}_{k}"])
+            taken = f"tk{g}_{k}"
+            c.add_gate(f"msel{g}_{k}", "and", [f"sel{g}_{k}", f"grant{g}"])
+
+    # binary index of the selected channel, OR-ed across groups
+    for b in range(index_bits):
+        contributors = [
+            f"msel{g}_{k}"
+            for g in range(groups)
+            for k in range(channels)
+            if (k >> b) & 1
+        ]
+        if contributors:
+            c.add_gate(f"idx{b}", "or", contributors)
+        else:  # pragma: no cover - only for channels == 1
+            c.add_gate(f"idx{b}", "const0", [])
+    return c

@@ -1,0 +1,151 @@
+"""Close the PEC loop: plug synthesized black boxes back into the design.
+
+Realizability (the DQBF question) says black-box implementations
+*exist*; the Skolem certificate names them.  This module completes the
+story a designer cares about:
+
+1. turn each black-box output's Skolem table into gate logic,
+2. splice it into the incomplete implementation,
+3. formally verify the completed design against the specification with
+   an independent SAT miter check.
+
+Together with :func:`repro.core.skolem.extract_certificate` this makes
+the reproduction a (truth-table-level) synthesis tool for missing
+circuit parts, not just a yes/no oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..aig.cnf_bridge import is_satisfiable
+from ..aig.graph import Aig
+from ..core.result import Limits
+from ..core.skolem import SkolemTable
+from .circuit import BlackBox, Circuit
+
+
+def table_to_gates(
+    circuit: Circuit,
+    output: str,
+    inputs: List[str],
+    rows: Dict[Tuple[bool, ...], bool],
+    prefix: str,
+) -> None:
+    """Append sum-of-products gates computing a truth table to ``circuit``.
+
+    ``rows`` maps input-value tuples (aligned with ``inputs``) to the
+    output value; missing rows default to False.
+    """
+    minterms = [key for key, value in rows.items() if value]
+    if not minterms:
+        circuit.add_gate(output, "const0", [])
+        return
+    if len(minterms) == (1 << len(inputs)):
+        circuit.add_gate(output, "const1", [])
+        return
+
+    inverted: Dict[str, str] = {}
+
+    def negated(signal: str) -> str:
+        if signal not in inverted:
+            name = f"{prefix}_n_{signal}"
+            circuit.add_gate(name, "not", [signal])
+            inverted[signal] = name
+        return inverted[signal]
+
+    term_names: List[str] = []
+    for index, key in enumerate(sorted(minterms)):
+        literals = [
+            signal if value else negated(signal)
+            for signal, value in zip(inputs, key)
+        ]
+        if len(literals) == 1:
+            term_names.append(literals[0])
+        else:
+            name = f"{prefix}_m{index}"
+            circuit.add_gate(name, "and", literals)
+            term_names.append(name)
+    if len(term_names) == 1:
+        circuit.add_gate(output, "buf", [term_names[0]])
+    else:
+        circuit.add_gate(output, "or", term_names)
+
+
+def complete_circuit(
+    incomplete: Circuit,
+    box_tables: Dict[str, Dict[Tuple[bool, ...], bool]],
+) -> Circuit:
+    """Replace every black box by SOP logic from its output truth tables.
+
+    ``box_tables`` maps black-box *output* signal names to truth tables
+    over the box's input tuple.
+    """
+    completed = Circuit(incomplete.name + "_completed", incomplete.inputs, incomplete.outputs)
+    for gate in incomplete.gates:
+        completed.add_gate(gate.output, gate.kind, gate.inputs)
+    for box_number, box in enumerate(incomplete.black_boxes):
+        for out_number, output in enumerate(box.outputs):
+            if output not in box_tables:
+                raise ValueError(f"no truth table supplied for black box output {output!r}")
+            table_to_gates(
+                completed,
+                output,
+                list(box.inputs),
+                box_tables[output],
+                prefix=f"syn{box_number}_{out_number}",
+            )
+    completed.validate()
+    return completed
+
+
+def circuits_equivalent(
+    left: Circuit, right: Circuit, deadline: Optional[float] = None
+) -> bool:
+    """SAT miter check: do two complete circuits agree on every output?"""
+    if set(left.inputs) != set(right.inputs):
+        raise ValueError("circuits have different inputs")
+    if set(left.outputs) != set(right.outputs):
+        raise ValueError("circuits have different outputs")
+    aig = Aig()
+    input_edges = {name: aig.var(i + 1) for i, name in enumerate(sorted(left.inputs))}
+    left_edges = left.to_aig(aig, dict(input_edges))
+    right_edges = right.to_aig(aig, dict(input_edges))
+    difference = aig.lor_many(
+        aig.lxor(left_edges[out], right_edges[out]) for out in left.outputs
+    )
+    return not is_satisfiable(aig, difference, deadline)
+
+
+def synthesize_black_boxes(
+    spec: Circuit,
+    incomplete: Circuit,
+    limits: Optional[Limits] = None,
+) -> Optional[Circuit]:
+    """One-call synthesis: decide realizability, extract Skolem tables,
+    splice them in, and verify the completed design against ``spec``.
+
+    Returns the completed, verified circuit — or ``None`` when the
+    design is unrealizable.  Raises ``AssertionError`` if the verified
+    certificate fails the final miter (a solver bug, never observed).
+    """
+    from ..core.skolem import extract_certificate
+    from .encode import encode_pec_with_map
+
+    limits = limits or Limits()
+    formula, variables = encode_pec_with_map(spec, incomplete)
+    y_of_output = variables.y_var
+
+    result, tables = extract_certificate(formula, limits)
+    if tables is None:
+        return None
+
+    box_tables: Dict[str, Dict[Tuple[bool, ...], bool]] = {}
+    for box in incomplete.black_boxes:
+        for out in box.outputs:
+            table = tables[y_of_output[out]]
+            box_tables[out] = table.as_full_table()
+    completed = complete_circuit(incomplete, box_tables)
+    if not circuits_equivalent(spec, completed, limits.deadline()):
+        raise AssertionError("synthesized completion failed the miter check")
+    return completed

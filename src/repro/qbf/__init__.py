@@ -1,0 +1,6 @@
+"""QBF solving substrate: AIG-based elimination and a search-based oracle."""
+
+from .aigsolve import QbfSolverStats, solve_aig_qbf, solve_qbf
+from .qdpll import solve_qdpll
+
+__all__ = ["QbfSolverStats", "solve_aig_qbf", "solve_qbf", "solve_qdpll"]

@@ -1,0 +1,168 @@
+"""An AIG-based elimination QBF solver (the AIGSolve stand-in).
+
+HQS hands over to this solver once the DQBF's dependency graph is
+acyclic: the linearized prefix plus the *same* matrix AIG come in
+directly — no CNF round trip (Section III-C: "we can feed the remaining
+AIG directly into this solver").
+
+The algorithm quantifies the innermost block variable by variable
+(``exists`` = OR of cofactors, ``forall`` = AND of cofactors),
+interleaved with syntactic unit/pure elimination, and short-circuits to
+a single SAT call when only one quantifier block remains.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ..aig.cnf_bridge import is_satisfiable, is_tautology
+from ..aig.graph import FALSE, TRUE, Aig, is_complemented, node_of
+from ..aig.unitpure import detect_unit_pure
+from ..core.result import Limits
+from ..formula.prefix import EXISTS, FORALL, BlockedPrefix
+from ..formula.qbf import Qbf
+
+
+class QbfSolverStats:
+    """Counters for one AIGSolve run."""
+
+    def __init__(self) -> None:
+        self.quantifier_eliminations = 0
+        self.unit_eliminations = 0
+        self.pure_eliminations = 0
+        self.sat_endgames = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+def solve_aig_qbf(
+    aig: Aig,
+    root: int,
+    prefix: BlockedPrefix,
+    limits: Optional[Limits] = None,
+    use_unit_pure: bool = True,
+    stats: Optional[QbfSolverStats] = None,
+    compact_ratio: int = 4,
+) -> bool:
+    """Decide the QBF given by ``prefix`` over the function at ``root``.
+
+    ``prefix`` is consumed (mutated); pass a copy if it must survive.
+    Raises :class:`~repro.core.result.TimeoutExceeded` /
+    :class:`NodeLimitExceeded` when ``limits`` are exhausted.
+    """
+    limits = limits or Limits()
+    stats = stats if stats is not None else QbfSolverStats()
+
+    while True:
+        limits.check_time()
+        if root == TRUE:
+            return True
+        if root == FALSE:
+            return False
+
+        # Compact when the manager carries too much garbage, then check
+        # the node budget against live size.
+        live = aig.cone_size(root)
+        if aig.num_nodes > compact_ratio * max(live, 64):
+            fresh, (root,) = aig.extract([root])
+            aig = fresh
+        limits.check_nodes(aig.cone_size(root))
+
+        support = aig.support(root)
+        for var in prefix.variables():
+            if var not in support:
+                prefix.remove_variable(var)
+
+        if use_unit_pure:
+            outcome, root = _apply_unit_pure_qbf(aig, root, prefix, stats)
+            if outcome is not None:
+                return outcome
+            if root in (TRUE, FALSE):
+                continue
+
+        blocks = prefix.blocks
+        if not blocks:
+            # No quantified variables left but non-constant matrix cannot
+            # happen for closed formulas; treat defensively via SAT.
+            return is_satisfiable(aig, root, limits.deadline())
+        if len(blocks) == 1:
+            quantifier, _variables = blocks[0]
+            stats.sat_endgames += 1
+            if quantifier == EXISTS:
+                return is_satisfiable(aig, root, limits.deadline())
+            return is_tautology(aig, root, limits.deadline())
+
+        quantifier, variables = prefix.innermost_block()
+        var = _cheapest_variable(aig, root, variables)
+        if quantifier == EXISTS:
+            root = aig.exists(root, var)
+        else:
+            root = aig.forall(root, var)
+        prefix.remove_variable(var)
+        stats.quantifier_eliminations += 1
+
+
+def solve_qbf(formula: Qbf, limits: Optional[Limits] = None, **kwargs) -> bool:
+    """Convenience entry point from a CNF-based :class:`Qbf`."""
+    from ..aig.cnf_bridge import cnf_to_aig
+
+    formula.validate()
+    aig, root = cnf_to_aig(formula.matrix.clauses)
+    prefix = BlockedPrefix(formula.prefix.blocks)
+    return solve_aig_qbf(aig, root, prefix, limits, **kwargs)
+
+
+def _cheapest_variable(aig: Aig, root: int, variables) -> int:
+    """Pick the block variable with the fewest direct fanouts in the cone.
+
+    Low fanout correlates with small cofactor divergence, which keeps
+    the OR/AND of cofactors small — the classic AIGSolve scheduling
+    heuristic, reduced to its cheapest useful form.
+    """
+    if len(variables) == 1:
+        return variables[0]
+    fanout: Dict[int, int] = {v: 0 for v in variables}
+    wanted = set(variables)
+    for node in aig.cone_nodes(root):
+        if not aig.is_and(node):
+            continue
+        for fanin in aig.fanins(node):
+            child = node_of(fanin)
+            if aig.is_input(child):
+                label = aig.input_label(child)
+                if label in wanted:
+                    fanout[label] = fanout.get(label, 0) + 1
+    return min(variables, key=lambda v: (fanout.get(v, 0), v))
+
+
+def _apply_unit_pure_qbf(aig: Aig, root: int, prefix: BlockedPrefix, stats: QbfSolverStats):
+    """Theorem 5 on a blocked prefix; returns ``(decided, root)``."""
+    while True:
+        if root in (TRUE, FALSE):
+            return None, root
+        info = detect_unit_pure(aig, root)
+        if not info:
+            return None, root
+        progress = False
+        for var, forced in info.units.items():
+            quantifier = prefix.quantifier_of(var)
+            if quantifier is None:
+                continue
+            if quantifier == FORALL:
+                return False, root
+            root = aig.cofactor(root, var, forced)
+            prefix.remove_variable(var)
+            stats.unit_eliminations += 1
+            progress = True
+        for var, polarity in info.pures.items():
+            quantifier = prefix.quantifier_of(var)
+            if quantifier is None:
+                continue
+            value = polarity if quantifier == EXISTS else not polarity
+            root = aig.cofactor(root, var, value)
+            prefix.remove_variable(var)
+            stats.pure_eliminations += 1
+            progress = True
+        if not progress:
+            return None, root

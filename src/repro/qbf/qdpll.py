@@ -1,0 +1,145 @@
+"""A compact search-based QBF solver in the QDPLL tradition.
+
+Splits on the outermost undecided variable, with unit propagation and
+universal reduction at every node.  No learning — this solver exists as
+an independent cross-check for :mod:`repro.qbf.aigsolve` and as the
+"search-based" representative the paper contrasts elimination against
+(DepQBF in the original experiments).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.result import Limits
+from ..formula.lits import var_of
+from ..formula.prefix import EXISTS, FORALL
+from ..formula.qbf import Qbf
+
+
+def solve_qdpll(formula: Qbf, limits: Optional[Limits] = None) -> bool:
+    """Decide a prenex CNF QBF by quantifier-order DPLL search."""
+    formula.validate()
+    limits = limits or Limits()
+    order: List[Tuple[int, str]] = []
+    for quantifier, variables in formula.prefix.blocks:
+        for var in variables:
+            order.append((var, quantifier))
+    quantifier_of = {var: q for var, q in order}
+    clauses = [frozenset(c) for c in formula.matrix]
+    position = {var: i for i, (var, _) in enumerate(order)}
+    return _search(clauses, order, 0, quantifier_of, position, limits)
+
+
+def _search(
+    clauses: List[frozenset],
+    order: List[Tuple[int, str]],
+    depth: int,
+    quantifier_of: Dict[int, str],
+    position: Dict[int, int],
+    limits: Limits,
+) -> bool:
+    limits.check_time()
+    simplified = _simplify(clauses, quantifier_of, position)
+    if simplified is None:
+        return False
+    clauses, forced = simplified
+    if not clauses:
+        return True
+
+    # find outermost variable still occurring
+    occurring = {var_of(lit) for clause in clauses for lit in clause}
+    branch_var = None
+    quantifier = None
+    for var, q in order[depth:]:
+        if var in occurring and var not in forced:
+            branch_var = var
+            quantifier = q
+            break
+    if branch_var is None:
+        # all remaining variables are don't-cares but clauses non-empty:
+        # every clause still has literals, so any assignment satisfies? No —
+        # occurring variables must be quantified; this is unreachable for
+        # closed formulas.
+        return True
+
+    results = []
+    for value in (True, False):
+        branch = _assign(clauses, branch_var, value)
+        if branch is None:
+            results.append(False)
+        else:
+            results.append(
+                _search(branch, order, depth, quantifier_of, position, limits)
+            )
+        # short-circuit
+        if quantifier == EXISTS and results[-1]:
+            return True
+        if quantifier == FORALL and not results[-1]:
+            return False
+    return results[0] if quantifier == FORALL else any(results)
+
+
+def _simplify(
+    clauses: List[frozenset],
+    quantifier_of: Dict[int, str],
+    position: Dict[int, int],
+) -> Optional[Tuple[List[frozenset], Dict[int, bool]]]:
+    """Unit propagation + universal reduction to fixpoint.
+
+    Returns ``None`` on conflict, else the simplified clause list and the
+    variables forced on the way.
+    """
+    clauses = list(clauses)
+    forced: Dict[int, bool] = {}
+    changed = True
+    while changed:
+        changed = False
+        # universal reduction: drop universal literals deeper than every
+        # existential literal of the clause
+        reduced: List[frozenset] = []
+        for clause in clauses:
+            exist_positions = [
+                position[var_of(lit)]
+                for lit in clause
+                if quantifier_of[var_of(lit)] == EXISTS
+            ]
+            horizon = max(exist_positions) if exist_positions else -1
+            kept = frozenset(
+                lit
+                for lit in clause
+                if quantifier_of[var_of(lit)] == EXISTS
+                or position[var_of(lit)] < horizon
+            )
+            if kept != clause:
+                changed = True
+            if not kept:
+                return None
+            reduced.append(kept)
+        clauses = reduced
+
+        unit = next((c for c in clauses if len(c) == 1), None)
+        if unit is not None:
+            lit = next(iter(unit))
+            if quantifier_of[var_of(lit)] == FORALL:
+                return None
+            forced[var_of(lit)] = lit > 0
+            clauses = _assign(clauses, var_of(lit), lit > 0)
+            if clauses is None:
+                return None
+            changed = True
+    return clauses, forced
+
+
+def _assign(clauses: List[frozenset], var: int, value: bool) -> Optional[List[frozenset]]:
+    true_lit = var if value else -var
+    result = []
+    for clause in clauses:
+        if true_lit in clause:
+            continue
+        if -true_lit in clause:
+            clause = clause - {-true_lit}
+            if not clause:
+                return None
+        result.append(clause)
+    return result

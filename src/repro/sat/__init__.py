@@ -1,0 +1,14 @@
+"""SAT solving substrate: a CDCL solver and a DPLL test oracle."""
+
+from .simple import count_models, dpll_solve
+from .solver import SAT, UNKNOWN, UNSAT, CdclSolver, solve_cnf
+
+__all__ = [
+    "SAT",
+    "UNSAT",
+    "UNKNOWN",
+    "CdclSolver",
+    "solve_cnf",
+    "dpll_solve",
+    "count_models",
+]

@@ -1,0 +1,104 @@
+"""A deliberately tiny DPLL solver used as a test oracle.
+
+No heuristics beyond unit propagation and pure-literal elimination;
+correctness over speed.  The CDCL solver in :mod:`repro.sat.solver` is
+property-tested against this implementation on random formulas.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..formula.lits import var_of
+
+
+def dpll_solve(clauses: Iterable[Iterable[int]]) -> Optional[Dict[int, bool]]:
+    """Return a model as ``{var: bool}`` or ``None`` if unsatisfiable."""
+    frozen = [tuple(clause) for clause in clauses]
+    model = _dpll([set(c) for c in frozen], {})
+    if model is None:
+        return None
+    # Fill unconstrained variables with False for a total model.
+    for clause in frozen:
+        for lit in clause:
+            model.setdefault(var_of(lit), False)
+    return model
+
+
+def _dpll(clauses: List[set], assignment: Dict[int, bool]) -> Optional[Dict[int, bool]]:
+    clauses = [set(c) for c in clauses]
+    assignment = dict(assignment)
+
+    changed = True
+    while changed:
+        changed = False
+        # unit propagation
+        for clause in clauses:
+            if len(clause) == 1:
+                lit = next(iter(clause))
+                conflict = _assign(clauses, assignment, lit)
+                if conflict:
+                    return None
+                changed = True
+                break
+        if changed:
+            continue
+        # pure literal elimination
+        literals = {lit for clause in clauses for lit in clause}
+        for lit in literals:
+            if -lit not in literals:
+                _assign(clauses, assignment, lit)
+                changed = True
+                break
+
+    if not clauses:
+        return assignment
+    if any(not clause for clause in clauses):
+        return None
+
+    lit = next(iter(min(clauses, key=len)))
+    for choice in (lit, -lit):
+        branch = [set(c) for c in clauses]
+        branch_assignment = dict(assignment)
+        if not _assign(branch, branch_assignment, choice):
+            result = _dpll(branch, branch_assignment)
+            if result is not None:
+                return result
+    return None
+
+
+def _assign(clauses: List[set], assignment: Dict[int, bool], lit: int) -> bool:
+    """Apply ``lit``; simplify in place.  Returns ``True`` on conflict."""
+    assignment[var_of(lit)] = lit > 0
+    remaining = []
+    conflict = False
+    for clause in clauses:
+        if lit in clause:
+            continue
+        if -lit in clause:
+            clause = clause - {-lit}
+            if not clause:
+                conflict = True
+        remaining.append(clause)
+    clauses[:] = remaining
+    return conflict
+
+
+def count_models(clauses: Iterable[Iterable[int]], variables: List[int]) -> int:
+    """Exhaustively count models over ``variables`` (oracle for tests)."""
+    import itertools
+
+    frozen = [tuple(c) for c in clauses]
+    count = 0
+    for values in itertools.product((False, True), repeat=len(variables)):
+        assignment = dict(zip(variables, values))
+        ok = True
+        for clause in frozen:
+            if not any(
+                (lit > 0) == assignment.get(var_of(lit), False) for lit in clause
+            ):
+                ok = False
+                break
+        if ok:
+            count += 1
+    return count

@@ -1,0 +1,610 @@
+"""A CDCL SAT solver (the ``antom`` stand-in of the reproduction).
+
+Implements the standard modern architecture: two-watched-literal
+propagation, first-UIP conflict analysis with clause minimization, VSIDS
+branching with phase saving, Luby restarts, LBD-based learned-clause
+deletion, and an incremental assumption interface (needed by the MaxSAT
+layer and by FRAIG sweeping).
+
+Literals follow the DIMACS convention externally; internally literal
+``l`` is encoded as ``2*v`` (positive) or ``2*v+1`` (negative) so watch
+lists can live in flat lists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+SAT = "SAT"
+UNSAT = "UNSAT"
+UNKNOWN = "UNKNOWN"
+
+
+def _encode(lit: int) -> int:
+    return (lit << 1) if lit > 0 else ((-lit) << 1) | 1
+
+
+def _decode(enc: int) -> int:
+    var = enc >> 1
+    return var if (enc & 1) == 0 else -var
+
+
+def _negate(enc: int) -> int:
+    return enc ^ 1
+
+
+class _Clause:
+    """A clause in the solver database."""
+
+    __slots__ = ("lits", "learnt", "lbd", "activity")
+
+    def __init__(self, lits: List[int], learnt: bool = False, lbd: int = 0):
+        self.lits = lits
+        self.learnt = learnt
+        self.lbd = lbd
+        self.activity = 0.0
+
+
+class CdclSolver:
+    """Conflict-driven clause-learning SAT solver.
+
+    Typical use::
+
+        solver = CdclSolver()
+        solver.add_clause([1, 2])
+        solver.add_clause([-1, 2])
+        assert solver.solve() == SAT
+        model = solver.model()          # {var: bool}
+        assert solver.solve([-2]) == UNSAT
+    """
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self._clauses: List[_Clause] = []
+        self._learnts: List[_Clause] = []
+        self._watches: List[List[_Clause]] = [[], []]
+        self._assign: List[int] = [0]          # 0 unassigned, 1 true, -1 false (per var)
+        self._level: List[int] = [0]
+        self._reason: List[Optional[_Clause]] = [None]
+        self._trail: List[int] = []            # encoded literals
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        self._activity: List[float] = [0.0]
+        self._polarity: List[bool] = [False]
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._cla_inc = 1.0
+        self._cla_decay = 0.999
+        self._order: List[int] = []            # lazy heap (indices = vars)
+        self._heap_pos: List[int] = [-1]
+        self._ok = True
+        self._model: Dict[int, bool] = {}
+        self._conflicts = 0
+        self._decisions = 0
+        self._propagations = 0
+        self._failed_assumptions: List[int] = []
+        self._seen: List[int] = [0]
+
+    # ------------------------------------------------------------------
+    # public interface
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        """Allocate a fresh variable and return its index."""
+        self.num_vars += 1
+        self._assign.append(0)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._polarity.append(False)
+        self._heap_pos.append(-1)
+        self._seen.append(0)
+        self._watches.append([])
+        self._watches.append([])
+        self._heap_insert(self.num_vars)
+        return self.num_vars
+
+    def ensure_vars(self, max_var: int) -> None:
+        while self.num_vars < max_var:
+            self.new_var()
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a clause; returns ``False`` if the database became trivially UNSAT."""
+        if not self._ok:
+            return False
+        seen: Set[int] = set()
+        clause: List[int] = []
+        for lit in lits:
+            if lit == 0:
+                raise ValueError("0 is not a literal")
+            self.ensure_vars(abs(lit))
+            enc = _encode(lit)
+            if _negate(enc) in seen:
+                return True  # tautology
+            if enc in seen:
+                continue
+            seen.add(enc)
+            clause.append(enc)
+
+        # Adding clauses is only supported at decision level 0.
+        self._backtrack(0)
+        clause = [e for e in clause if self._value(e) != -1]
+        if any(self._value(e) == 1 for e in clause):
+            return True
+        if not clause:
+            self._ok = False
+            return False
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None):
+                self._ok = False
+                return False
+            conflict = self._propagate()
+            if conflict is not None:
+                self._ok = False
+                return False
+            return True
+        record = _Clause(clause)
+        self._clauses.append(record)
+        self._attach(record)
+        return True
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> bool:
+        ok = True
+        for clause in clauses:
+            ok = self.add_clause(clause) and ok
+        return ok
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_limit: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> str:
+        """Solve under assumptions.
+
+        Returns :data:`SAT`, :data:`UNSAT`, or :data:`UNKNOWN` when the
+        optional ``conflict_limit`` was exhausted or the wall-clock
+        ``deadline`` (a ``time.monotonic`` timestamp) passed.
+        """
+        if not self._ok:
+            return UNSAT
+        for lit in assumptions:
+            self.ensure_vars(abs(lit))
+        self._model = {}
+        self._failed_assumptions = []
+        self._backtrack(0)
+        assumption_encs = [_encode(lit) for lit in assumptions]
+
+        restarts = 0
+        budget = conflict_limit if conflict_limit is not None else -1
+        import time as _time
+
+        while True:
+            limit = _luby(restarts) * 100
+            status = self._search(limit, assumption_encs, budget)
+            if status is not None:
+                self._backtrack(0)
+                return status
+            restarts += 1
+            if budget >= 0 and self._conflicts >= budget:
+                self._backtrack(0)
+                return UNKNOWN
+            if deadline is not None and _time.monotonic() > deadline:
+                self._backtrack(0)
+                return UNKNOWN
+
+    def model(self) -> Dict[int, bool]:
+        """Return the satisfying assignment from the last :data:`SAT` answer."""
+        return dict(self._model)
+
+    def model_value(self, var: int) -> Optional[bool]:
+        return self._model.get(var)
+
+    def failed_assumptions(self) -> List[int]:
+        """Subset of assumptions responsible for the last :data:`UNSAT` answer."""
+        return list(self._failed_assumptions)
+
+    @property
+    def statistics(self) -> Dict[str, int]:
+        return {
+            "conflicts": self._conflicts,
+            "decisions": self._decisions,
+            "propagations": self._propagations,
+            "clauses": len(self._clauses),
+            "learnts": len(self._learnts),
+        }
+
+    # ------------------------------------------------------------------
+    # core search
+    # ------------------------------------------------------------------
+    def _search(
+        self, conflict_budget: int, assumptions: List[int], global_budget: int
+    ) -> Optional[str]:
+        local_conflicts = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self._conflicts += 1
+                local_conflicts += 1
+                if self._decision_level() == 0:
+                    self._ok = False
+                    return UNSAT
+                learnt, backtrack_level = self._analyze(conflict)
+                if self._decision_level() <= len(assumptions):
+                    # Conflict depends only on assumptions: compute the core.
+                    self._analyze_final(conflict, assumptions)
+                    self._ok = True
+                    return UNSAT
+                self._backtrack(max(backtrack_level, 0))
+                self._record_learnt(learnt)
+                self._decay_activities()
+                if 0 <= global_budget <= self._conflicts:
+                    return None
+                if local_conflicts >= conflict_budget:
+                    self._backtrack(0)
+                    return None
+            else:
+                # assumption handling
+                next_decision = None
+                while self._decision_level() < len(assumptions):
+                    enc = assumptions[self._decision_level()]
+                    value = self._value(enc)
+                    if value == 1:
+                        self._trail_lim.append(len(self._trail))
+                        continue
+                    if value == -1:
+                        self._failed_from_assumption(enc, assumptions)
+                        return UNSAT
+                    next_decision = enc
+                    break
+                if next_decision is None:
+                    next_decision = self._pick_branch()
+                    if next_decision is None:
+                        self._model = {
+                            v: self._assign[v] == 1 for v in range(1, self.num_vars + 1)
+                        }
+                        return SAT
+                    self._decisions += 1
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(next_decision, None)
+
+    def _propagate(self) -> Optional[_Clause]:
+        while self._qhead < len(self._trail):
+            enc = self._trail[self._qhead]
+            self._qhead += 1
+            self._propagations += 1
+            false_lit = _negate(enc)
+            watchers = self._watches[false_lit]
+            i = 0
+            j = 0
+            while i < len(watchers):
+                clause = watchers[i]
+                i += 1
+                lits = clause.lits
+                # Make sure the false literal is at position 1.
+                if lits[0] == false_lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._value(first) == 1:
+                    watchers[j] = clause
+                    j += 1
+                    continue
+                # Look for a new watch.
+                found = False
+                for k in range(2, len(lits)):
+                    if self._value(lits[k]) != -1:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watches[lits[1]].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                # Clause is unit or conflicting.
+                watchers[j] = clause
+                j += 1
+                if self._value(first) == -1:
+                    # conflict: copy the remaining watchers and bail out
+                    while i < len(watchers):
+                        watchers[j] = watchers[i]
+                        j += 1
+                        i += 1
+                    del watchers[j:]
+                    self._qhead = len(self._trail)
+                    return clause
+                self._enqueue(first, clause)
+            del watchers[j:]
+        return None
+
+    def _analyze(self, conflict: _Clause) -> Tuple[List[int], int]:
+        learnt: List[int] = [0]  # reserve slot for the asserting literal
+        seen = self._seen
+        counter = 0
+        enc = -1
+        index = len(self._trail) - 1
+        reason: Optional[_Clause] = conflict
+        current_level = self._decision_level()
+
+        while True:
+            assert reason is not None
+            if reason.learnt:
+                self._bump_clause(reason)
+            start = 0 if enc == -1 else 1
+            for k in range(start, len(reason.lits)):
+                q = reason.lits[k]
+                var = q >> 1
+                if seen[var] == 0 and self._level[var] > 0:
+                    seen[var] = 1
+                    self._bump_var(var)
+                    if self._level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            # pick next literal to expand from the trail
+            while seen[self._trail[index] >> 1] == 0:
+                index -= 1
+            enc = self._trail[index]
+            index -= 1
+            var = enc >> 1
+            reason = self._reason[var]
+            seen[var] = 0
+            counter -= 1
+            if counter == 0:
+                break
+        learnt[0] = _negate(enc)
+
+        # Minimize: drop literals implied by the rest of the clause.
+        cached = {lit >> 1 for lit in learnt}
+        minimized = [learnt[0]]
+        for lit in learnt[1:]:
+            if not self._redundant(lit, cached):
+                minimized.append(lit)
+        # compute backtrack level and clean the seen markers
+        for lit in learnt:
+            self._seen[lit >> 1] = 0
+        if len(minimized) == 1:
+            level = 0
+        else:
+            max_index = 1
+            for k in range(2, len(minimized)):
+                if self._level[minimized[k] >> 1] > self._level[minimized[max_index] >> 1]:
+                    max_index = k
+            minimized[1], minimized[max_index] = minimized[max_index], minimized[1]
+            level = self._level[minimized[1] >> 1]
+        return minimized, level
+
+    def _redundant(self, enc: int, cached: Set[int]) -> bool:
+        reason = self._reason[enc >> 1]
+        if reason is None:
+            return False
+        for other in reason.lits:
+            var = other >> 1
+            if var == enc >> 1:
+                continue
+            if self._level[var] == 0 or var in cached:
+                continue
+            return False
+        return True
+
+    def _analyze_final(self, conflict: _Clause, assumptions: List[int]) -> None:
+        """Compute the subset of assumptions implying the conflict."""
+        assumption_vars = {enc >> 1 for enc in assumptions}
+        core: Set[int] = set()
+        seen: Set[int] = set()
+        stack = [lit >> 1 for lit in conflict.lits]
+        while stack:
+            var = stack.pop()
+            if var in seen or self._level[var] == 0:
+                continue
+            seen.add(var)
+            reason = self._reason[var]
+            if reason is None:
+                if var in assumption_vars:
+                    core.add(var)
+            else:
+                stack.extend(lit >> 1 for lit in reason.lits)
+        self._failed_assumptions = [
+            _decode(enc) for enc in assumptions if (enc >> 1) in core
+        ]
+
+    def _failed_from_assumption(self, enc: int, assumptions: List[int]) -> None:
+        """An assumption is already false; derive the failing subset."""
+        core_vars: Set[int] = set()
+        stack = [enc >> 1]
+        seen: Set[int] = set()
+        assumption_vars = {a >> 1 for a in assumptions}
+        while stack:
+            var = stack.pop()
+            if var in seen or self._level[var] == 0:
+                continue
+            seen.add(var)
+            reason = self._reason[var]
+            if reason is None:
+                if var in assumption_vars:
+                    core_vars.add(var)
+            else:
+                stack.extend(lit >> 1 for lit in reason.lits)
+        core_vars.add(enc >> 1)
+        self._failed_assumptions = [
+            _decode(a) for a in assumptions if (a >> 1) in core_vars
+        ]
+
+    def _record_learnt(self, lits: List[int]) -> None:
+        if len(lits) == 1:
+            self._enqueue(lits[0], None)
+            return
+        levels = {self._level[lit >> 1] for lit in lits}
+        clause = _Clause(lits, learnt=True, lbd=len(levels))
+        self._learnts.append(clause)
+        self._attach(clause)
+        self._bump_clause(clause)
+        self._enqueue(lits[0], clause)
+        if len(self._learnts) > 4000 + 8 * len(self._clauses):
+            self._reduce_db()
+
+    def _reduce_db(self) -> None:
+        self._learnts.sort(key=lambda c: (c.lbd, -c.activity))
+        keep = len(self._learnts) // 2
+        locked = {id(self._reason[lit >> 1]) for lit in self._trail if self._reason[lit >> 1]}
+        survivors: List[_Clause] = []
+        for index, clause in enumerate(self._learnts):
+            if index < keep or clause.lbd <= 2 or id(clause) in locked:
+                survivors.append(clause)
+            else:
+                self._detach(clause)
+        self._learnts = survivors
+
+    # ------------------------------------------------------------------
+    # assignment bookkeeping
+    # ------------------------------------------------------------------
+    def _value(self, enc: int) -> int:
+        """1 = true, -1 = false, 0 = unassigned (for an encoded literal)."""
+        raw = self._assign[enc >> 1]
+        if raw == 0:
+            return 0
+        return raw if (enc & 1) == 0 else -raw
+
+    def _enqueue(self, enc: int, reason: Optional[_Clause]) -> bool:
+        value = self._value(enc)
+        if value == 1:
+            return True
+        if value == -1:
+            return False
+        var = enc >> 1
+        self._assign[var] = 1 if (enc & 1) == 0 else -1
+        self._level[var] = self._decision_level()
+        self._reason[var] = reason
+        self._polarity[var] = (enc & 1) == 0
+        self._trail.append(enc)
+        return True
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _backtrack(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        boundary = self._trail_lim[level]
+        for enc in reversed(self._trail[boundary:]):
+            var = enc >> 1
+            self._assign[var] = 0
+            self._reason[var] = None
+            if self._heap_pos[var] < 0:
+                self._heap_insert(var)
+        del self._trail[boundary:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    def _attach(self, clause: _Clause) -> None:
+        self._watches[clause.lits[0]].append(clause)
+        self._watches[clause.lits[1]].append(clause)
+
+    def _detach(self, clause: _Clause) -> None:
+        for enc in clause.lits[:2]:
+            watchers = self._watches[enc]
+            try:
+                watchers.remove(clause)
+            except ValueError:
+                pass
+
+    # ------------------------------------------------------------------
+    # VSIDS order (binary heap over activities)
+    # ------------------------------------------------------------------
+    def _heap_insert(self, var: int) -> None:
+        self._order.append(var)
+        self._heap_pos[var] = len(self._order) - 1
+        self._heap_up(len(self._order) - 1)
+
+    def _heap_up(self, index: int) -> None:
+        order = self._order
+        activity = self._activity
+        var = order[index]
+        while index > 0:
+            parent = (index - 1) >> 1
+            if activity[order[parent]] >= activity[var]:
+                break
+            order[index] = order[parent]
+            self._heap_pos[order[index]] = index
+            index = parent
+        order[index] = var
+        self._heap_pos[var] = index
+
+    def _heap_down(self, index: int) -> None:
+        order = self._order
+        activity = self._activity
+        size = len(order)
+        var = order[index]
+        while True:
+            left = 2 * index + 1
+            if left >= size:
+                break
+            best = left
+            right = left + 1
+            if right < size and activity[order[right]] > activity[order[left]]:
+                best = right
+            if activity[order[best]] <= activity[var]:
+                break
+            order[index] = order[best]
+            self._heap_pos[order[index]] = index
+            index = best
+        order[index] = var
+        self._heap_pos[var] = index
+
+    def _heap_pop(self) -> Optional[int]:
+        if not self._order:
+            return None
+        top = self._order[0]
+        last = self._order.pop()
+        self._heap_pos[top] = -1
+        if self._order:
+            self._order[0] = last
+            self._heap_pos[last] = 0
+            self._heap_down(0)
+        return top
+
+    def _pick_branch(self) -> Optional[int]:
+        while True:
+            var = self._heap_pop()
+            if var is None:
+                return None
+            if self._assign[var] == 0:
+                return (var << 1) | (0 if self._polarity[var] else 1)
+
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+        if self._heap_pos[var] >= 0:
+            self._heap_up(self._heap_pos[var])
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        clause.activity += self._cla_inc
+        if clause.activity > 1e20:
+            for c in self._learnts:
+                c.activity *= 1e-20
+            self._cla_inc *= 1e-20
+
+    def _decay_activities(self) -> None:
+        self._var_inc /= self._var_decay
+        self._cla_inc /= self._cla_decay
+
+
+def _luby(index: int) -> int:
+    """The Luby restart sequence 1,1,2,1,1,2,4,... (0-indexed)."""
+    size, seq = 1, 0
+    while size < index + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != index:
+        size = (size - 1) // 2
+        seq -= 1
+        index %= size
+    return 1 << seq
+
+
+def solve_cnf(clauses: Iterable[Iterable[int]], assumptions: Sequence[int] = ()) -> Tuple[str, Dict[int, bool]]:
+    """One-shot convenience wrapper: returns ``(status, model)``."""
+    solver = CdclSolver()
+    solver.add_clauses(clauses)
+    status = solver.solve(assumptions)
+    return status, solver.model() if status == SAT else {}

@@ -1,0 +1,160 @@
+"""Tests for CNF<->AIG conversion and FRAIG sweeping."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig.cnf_bridge import aig_to_cnf, cnf_to_aig, is_satisfiable, is_tautology
+from repro.aig.fraig import FraigOptions, fraig_root, simulate
+from repro.aig.graph import FALSE, TRUE, Aig, complement
+from repro.errors import TimeoutExceeded
+from repro.sat.simple import dpll_solve
+
+from conftest import cnf_strategy
+from test_aig_graph import random_edge
+
+
+def brute_sat(clauses):
+    return dpll_solve(clauses) is not None
+
+
+class TestCnfToAig:
+    @settings(max_examples=60, deadline=None)
+    @given(cnf_strategy(max_vars=5, max_clauses=12, max_len=3))
+    def test_function_matches_cnf(self, clauses):
+        aig, root = cnf_to_aig(clauses)
+        variables = sorted({abs(l) for c in clauses for l in c})
+        for values in itertools.product([False, True], repeat=len(variables)):
+            assignment = dict(zip(variables, values))
+            expected = all(
+                any((lit > 0) == assignment[abs(lit)] for lit in clause)
+                for clause in clauses
+            )
+            if root in (TRUE, FALSE):
+                got = root == TRUE
+            else:
+                got = aig.evaluate(root, assignment)
+            assert got == expected
+
+    def test_empty_cnf_is_true(self):
+        _aig, root = cnf_to_aig([])
+        assert root == TRUE
+
+    def test_conflicting_units_collapse_to_false(self):
+        _aig, root = cnf_to_aig([[1], [-1]])
+        assert root == FALSE
+
+
+class TestAigToCnf:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_equisatisfiable_per_assignment(self, seed):
+        """Asserting the root literal plus an input assignment must be
+        satisfiable exactly when the AIG evaluates to true."""
+        rng = random.Random(seed)
+        aig = Aig()
+        variables = [1, 2, 3]
+        e = random_edge(aig, rng, variables, 3)
+        if e in (TRUE, FALSE):
+            return
+        # start_var keeps auxiliaries clear of vars 1..3 even when some
+        # variable does not occur in the cone
+        cnf, root_lit = aig_to_cnf(aig, e, start_var=max(variables))
+        for values in itertools.product([False, True], repeat=3):
+            assignment = dict(zip(variables, values))
+            unit_clauses = [[v if val else -v] for v, val in assignment.items()]
+            sat = brute_sat(cnf.clauses + [[root_lit]] + unit_clauses)
+            assert sat == aig.evaluate(e, assignment)
+
+    def test_constant_roots(self):
+        aig = Aig()
+        cnf_t, lit_t = aig_to_cnf(aig, TRUE)
+        assert brute_sat(cnf_t.clauses + [[lit_t]])
+        cnf_f, lit_f = aig_to_cnf(aig, FALSE)
+        assert not brute_sat(cnf_f.clauses + [[lit_f]])
+
+    def test_start_var_prevents_collisions(self):
+        """Regression: auxiliaries must not collide with external variables
+        absent from the cone (caused bogus UNSAT PEC encodings)."""
+        aig = Aig()
+        e = aig.land(aig.var(1), aig.var(2))
+        # variable space extends to 10, but the cone only mentions 1, 2
+        cnf, root_lit = aig_to_cnf(aig, e, start_var=10)
+        for clause in cnf.clauses:
+            for lit in clause:
+                assert abs(lit) in (1, 2) or abs(lit) > 10
+        assert abs(root_lit) > 10
+
+
+class TestSatChecks:
+    @settings(max_examples=60, deadline=None)
+    @given(cnf_strategy(max_vars=6, max_clauses=15))
+    def test_is_satisfiable_matches_oracle(self, clauses):
+        aig, root = cnf_to_aig(clauses)
+        assert is_satisfiable(aig, root) == brute_sat(clauses)
+
+    def test_is_tautology(self):
+        aig = Aig()
+        taut = aig.lor(aig.var(1), complement(aig.var(1)))
+        assert taut == TRUE
+        assert is_tautology(aig, taut)
+        assert not is_tautology(aig, aig.var(1))
+
+    def test_deadline_propagates(self):
+        import time
+
+        aig = Aig()
+        # moderately hard function so the solve has work to do
+        from test_sat_solver import php_clauses
+
+        aig, root = cnf_to_aig(php_clauses(8))
+        with pytest.raises(TimeoutExceeded):
+            is_satisfiable(aig, root, deadline=time.monotonic() - 1)
+
+
+class TestFraig:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_function_preserved(self, seed):
+        rng = random.Random(seed)
+        aig = Aig()
+        variables = [1, 2, 3, 4]
+        e = random_edge(aig, rng, variables, 4)
+        reduced, new_root = fraig_root(aig, e)
+        for values in itertools.product([False, True], repeat=4):
+            assignment = dict(zip(variables, values))
+            original = e == TRUE if e in (TRUE, FALSE) else aig.evaluate(e, assignment)
+            swept = (
+                new_root == TRUE
+                if new_root in (TRUE, FALSE)
+                else reduced.evaluate(new_root, assignment)
+            )
+            assert original == swept
+
+    def test_merges_structurally_distinct_equivalents(self):
+        aig = Aig()
+        x, y = aig.var(1), aig.var(2)
+        # two structurally different forms of x XOR y
+        form1 = aig.lor(aig.land(x, complement(y)), aig.land(complement(x), y))
+        form2 = aig.land(aig.lor(x, y), complement(aig.land(x, y)))
+        both = aig.land(form1, form2)  # equals form1 alone semantically
+        reduced, new_root = fraig_root(aig, both)
+        # after sweeping, the two xor cones collapse: the result is not
+        # larger than one xor plus the outer AND
+        assert reduced.cone_size(new_root) <= aig.cone_size(form1) + 1
+
+    def test_simulate_words(self):
+        aig = Aig()
+        e = aig.land(aig.var(1), complement(aig.var(2)))
+        words = simulate(aig, e, {1: 0b1100, 2: 0b1010}, 4)
+        from repro.aig.graph import node_of
+
+        assert words[node_of(e)] == 0b0100
+
+    def test_constant_root_passthrough(self):
+        aig = Aig()
+        reduced, root = fraig_root(aig, TRUE)
+        assert root == TRUE

@@ -1,0 +1,152 @@
+"""Tests for syntactic unit/pure detection on AIGs (Theorem 6)."""
+
+import itertools
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig.graph import FALSE, TRUE, Aig, complement
+from repro.aig.unitpure import detect_unit_pure, find_pures, find_units
+
+from test_aig_graph import random_edge
+
+
+def build_fig1(aig: Aig):
+    """The CNF of Fig. 1: (y1|x1)(y1|x2)(y2|!x1)(y2|!x2) with
+    y1=var1, y2=var2, x1=var3, x2=var4."""
+    y1, y2, x1, x2 = (aig.var(v) for v in (1, 2, 3, 4))
+    return aig.land_many(
+        [
+            aig.lor(y1, x1),
+            aig.lor(y1, x2),
+            aig.lor(y2, complement(x1)),
+            aig.lor(y2, complement(x2)),
+        ]
+    )
+
+
+class TestUnits:
+    def test_top_level_conjunct_is_positive_unit(self):
+        aig = Aig()
+        f = aig.land(aig.var(1), aig.lor(aig.var(2), aig.var(3)))
+        units = find_units(aig, f)
+        assert units == {1: True}
+
+    def test_negated_conjunct_is_negative_unit(self):
+        aig = Aig()
+        f = aig.land(complement(aig.var(1)), aig.var(2))
+        units = find_units(aig, f)
+        assert units == {1: False, 2: True}
+
+    def test_nested_conjunction_found(self):
+        aig = Aig()
+        f = aig.land(
+            aig.land(aig.var(1), aig.var(2)),
+            aig.land(aig.var(3), complement(aig.var(4))),
+        )
+        units = find_units(aig, f)
+        assert units == {1: True, 2: True, 3: True, 4: False}
+
+    def test_complemented_root_blocks_units(self):
+        aig = Aig()
+        f = complement(aig.land(aig.var(1), aig.var(2)))
+        assert find_units(aig, f) == {}
+
+    def test_negated_input_root(self):
+        aig = Aig()
+        f = complement(aig.var(5))
+        assert find_units(aig, f) == {5: False}
+
+    def test_input_root(self):
+        aig = Aig()
+        assert find_units(aig, aig.var(5)) == {5: True}
+
+    def test_constants_have_no_units(self):
+        aig = Aig()
+        assert find_units(aig, TRUE) == {}
+        assert find_units(aig, FALSE) == {}
+
+    def test_disjunction_has_no_units(self):
+        aig = Aig()
+        f = aig.lor(aig.var(1), aig.var(2))
+        assert find_units(aig, f) == {}
+
+
+class TestPures:
+    def test_fig1_detects_pure(self):
+        """Example 4: the syntactic check finds y2 positive pure (and in our
+        OR-based construction also y1); x1, x2 occur in both phases."""
+        aig = Aig()
+        f = build_fig1(aig)
+        pures = find_pures(aig, f)
+        assert pures.get(2) is True
+        assert 3 not in pures
+        assert 4 not in pures
+
+    def test_single_phase_variable(self):
+        aig = Aig()
+        f = aig.lor(aig.var(1), aig.land(aig.var(1), aig.var(2)))
+        pures = find_pures(aig, f)
+        assert pures.get(1) is True
+
+    def test_negative_pure(self):
+        aig = Aig()
+        f = aig.land(complement(aig.var(1)), aig.lor(complement(aig.var(1)), aig.var(2)))
+        pures = find_pures(aig, f)
+        assert pures.get(1) is False
+
+    def test_mixed_phase_not_pure(self):
+        aig = Aig()
+        f = aig.lxor(aig.var(1), aig.var(2))
+        pures = find_pures(aig, f)
+        assert 1 not in pures and 2 not in pures
+
+
+class TestSemanticSoundness:
+    """The syntactic checks are incomplete but must never be wrong."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_units_are_semantically_forced(self, seed):
+        rng = random.Random(seed)
+        aig = Aig()
+        variables = [1, 2, 3]
+        e = random_edge(aig, rng, variables, 3)
+        units = find_units(aig, e)
+        for values in itertools.product([False, True], repeat=3):
+            assignment = dict(zip(variables, values))
+            if e not in (TRUE, FALSE) and aig.evaluate(e, assignment):
+                for var, forced in units.items():
+                    assert assignment[var] == forced
+
+    @settings(max_examples=120, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_pures_are_semantically_monotone(self, seed):
+        """If v is positive pure, raising v never falsifies the formula."""
+        rng = random.Random(seed)
+        aig = Aig()
+        variables = [1, 2, 3]
+        e = random_edge(aig, rng, variables, 3)
+        if e in (TRUE, FALSE):
+            return
+        pures = find_pures(aig, e)
+        for values in itertools.product([False, True], repeat=3):
+            assignment = dict(zip(variables, values))
+            if aig.evaluate(e, assignment):
+                for var, polarity in pures.items():
+                    pushed = {**assignment, var: polarity}
+                    assert aig.evaluate(e, pushed)
+
+    def test_detect_unit_pure_units_take_precedence(self):
+        aig = Aig()
+        f = aig.land(aig.var(1), aig.var(2))
+        info = detect_unit_pure(aig, f)
+        assert set(info.units) == {1, 2}
+        assert not set(info.pures) & set(info.units)
+
+    def test_bool_protocol(self):
+        aig = Aig()
+        assert not detect_unit_pure(aig, TRUE)
+        f = aig.land(aig.var(1), aig.var(2))
+        assert detect_unit_pure(aig, f)

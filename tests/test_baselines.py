@@ -1,0 +1,81 @@
+"""Tests for the iDQ-style instantiation and [10]-style expansion baselines."""
+
+from hypothesis import given, settings
+
+from repro.baselines.expansion import expansion_options, solve_expansion
+from repro.baselines.idq import IdqSolver
+from repro.core.result import Limits, SAT, TIMEOUT, UNSAT
+from repro.formula.dqbf import Dqbf, expansion_solve
+
+from conftest import dqbf_strategy
+
+
+class TestIdq:
+    @settings(max_examples=100, deadline=None)
+    @given(dqbf_strategy(max_universals=3, max_existentials=3, max_clauses=8))
+    def test_matches_oracle(self, formula):
+        expected = SAT if expansion_solve(formula) else UNSAT
+        result = IdqSolver().solve(formula.copy())
+        assert result.status == expected
+
+    def test_trivially_unsat_single_round(self):
+        """A clause set falsified under the all-zero instantiation refutes in
+        the very first ground solve — the paper's 'single SAT call' case."""
+        formula = Dqbf.build([1, 2], [(3, [1])], [[3], [-3]])
+        solver = IdqSolver()
+        result = solver.solve(formula)
+        assert result.status == UNSAT
+        assert result.stats["instantiation_rounds"] <= 1
+
+    def test_sat_requires_verification_round(self):
+        formula = Dqbf.build(
+            [1, 2], [(3, [1]), (4, [2])],
+            [[-3, 1], [3, -1], [-4, 2], [4, -2]],
+        )
+        solver = IdqSolver()
+        result = solver.solve(formula)
+        assert result.status == SAT
+        assert result.stats["instantiation_rounds"] >= 1
+        assert result.stats["atoms"] >= 2
+
+    def test_empty_matrix(self):
+        formula = Dqbf.build([1], [(2, [1])], [])
+        assert IdqSolver().solve(formula).status == SAT
+
+    def test_timeout(self):
+        from repro.pec.families import make_comp
+
+        formula = make_comp(8, 3, buggy=False, seed=3).formula
+        result = IdqSolver().solve(formula, Limits(time_limit=0.01))
+        assert result.status == TIMEOUT
+
+    def test_instance_atom_sharing(self):
+        """Universal branches agreeing on D_y must share the y atom: with
+        D_y = {} there is exactly one atom no matter how many universals."""
+        formula = Dqbf.build([1, 2], [(3, [])], [[3, 1, 2]])
+        solver = IdqSolver()
+        result = solver.solve(formula)
+        assert result.status == SAT
+        assert result.stats["atoms"] <= 1
+
+
+class TestExpansionBaseline:
+    @settings(max_examples=100, deadline=None)
+    @given(dqbf_strategy(max_universals=3, max_existentials=3, max_clauses=8))
+    def test_matches_oracle(self, formula):
+        expected = SAT if expansion_solve(formula) else UNSAT
+        result = solve_expansion(formula.copy())
+        assert result.status == expected
+
+    def test_options_disable_hqs_features(self):
+        options = expansion_options()
+        assert not options.use_maxsat_selection
+        assert not options.use_qbf_backend
+        assert not options.use_unit_pure
+
+    def test_timeout(self):
+        from repro.pec.families import make_comp
+
+        formula = make_comp(8, 3, buggy=False, seed=3).formula
+        result = solve_expansion(formula, Limits(time_limit=0.0))
+        assert result.status == TIMEOUT

@@ -1,0 +1,153 @@
+"""Tests for the ROBDD substrate and the BDD-backed DQBF solver."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd.graph import Bdd, cnf_to_bdd
+from repro.bdd.solver import solve_bdd
+from repro.core.result import MEMOUT, SAT, TIMEOUT, UNSAT, Limits
+from repro.formula.dqbf import Dqbf, expansion_solve
+
+from conftest import cnf_strategy, dqbf_strategy
+
+
+class TestBddBasics:
+    def test_terminals(self):
+        bdd = Bdd()
+        assert bdd.lnot(Bdd.TRUE) == Bdd.FALSE
+        assert bdd.land(Bdd.TRUE, Bdd.FALSE) == Bdd.FALSE
+        assert bdd.lor(Bdd.FALSE, Bdd.TRUE) == Bdd.TRUE
+
+    def test_canonicity(self):
+        """Equivalent functions share a node — BDDs are canonical."""
+        bdd = Bdd()
+        x, y = bdd.var(1), bdd.var(2)
+        demorgan_a = bdd.lnot(bdd.land(x, y))
+        demorgan_b = bdd.lor(bdd.lnot(x), bdd.lnot(y))
+        assert demorgan_a == demorgan_b
+
+    def test_var_order_first_use(self):
+        bdd = Bdd()
+        bdd.declare(5, 3)
+        f = bdd.land(bdd.var(3), bdd.var(5))
+        assert bdd.support(f) == {3, 5}
+
+    def test_invalid_variable(self):
+        with pytest.raises(ValueError):
+            Bdd().var(0)
+
+    def test_idempotence_and_negation(self):
+        bdd = Bdd()
+        x = bdd.var(1)
+        assert bdd.land(x, x) == x
+        assert bdd.land(x, bdd.lnot(x)) == Bdd.FALSE
+        assert bdd.lxor(x, x) == Bdd.FALSE
+        assert bdd.lxnor(x, x) == Bdd.TRUE
+
+
+class TestBddSemantics:
+    @settings(max_examples=60, deadline=None)
+    @given(cnf_strategy(max_vars=5, max_clauses=12, max_len=3))
+    def test_cnf_to_bdd_matches_cnf(self, clauses):
+        bdd, f = cnf_to_bdd(clauses)
+        variables = sorted({abs(l) for c in clauses for l in c})
+        for values in itertools.product([False, True], repeat=len(variables)):
+            assignment = dict(zip(variables, values))
+            expected = all(
+                any((lit > 0) == assignment[abs(lit)] for lit in clause)
+                for clause in clauses
+            )
+            got = (f == Bdd.TRUE) if f in (0, 1) else bdd.evaluate(f, assignment)
+            assert got == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_restrict_quantify(self, seed):
+        rng = random.Random(seed)
+        clauses = [
+            [rng.choice([1, -1]) * rng.randint(1, 4) for _ in range(rng.randint(1, 3))]
+            for _ in range(rng.randint(1, 8))
+        ]
+        bdd, f = cnf_to_bdd(clauses)
+        if f in (0, 1):
+            return
+        v = rng.randint(1, 4)
+        bdd.declare(v)
+        r0 = bdd.restrict(f, v, False)
+        r1 = bdd.restrict(f, v, True)
+        ex = bdd.exists(f, v)
+        fa = bdd.forall(f, v)
+        variables = sorted(bdd.support(f) | {v})
+        for values in itertools.product([False, True], repeat=len(variables)):
+            assignment = dict(zip(variables, values))
+            low = {**assignment, v: False}
+            high = {**assignment, v: True}
+
+            def val(node, asg):
+                return (node == Bdd.TRUE) if node in (0, 1) else bdd.evaluate(node, asg)
+
+            assert val(r0, assignment) == val(f, low)
+            assert val(r1, assignment) == val(f, high)
+            assert val(ex, assignment) == (val(f, low) or val(f, high))
+            assert val(fa, assignment) == (val(f, low) and val(f, high))
+
+    def test_compose(self):
+        bdd = Bdd()
+        f = bdd.lxor(bdd.var(1), bdd.var(2))
+        g = bdd.land(bdd.var(3), bdd.var(4))
+        composed = bdd.compose(f, 2, g)
+        for v1, v3, v4 in itertools.product([False, True], repeat=3):
+            expected = v1 ^ (v3 and v4)
+            assert bdd.evaluate(composed, {1: v1, 3: v3, 4: v4}) == expected
+
+    def test_rename_rejects_support_collision(self):
+        bdd = Bdd()
+        f = bdd.land(bdd.var(1), bdd.var(2))
+        with pytest.raises(ValueError):
+            bdd.rename(f, {1: 2})
+
+    def test_sat_count(self):
+        bdd = Bdd()
+        f = bdd.lor(bdd.var(1), bdd.var(2))
+        assert bdd.sat_count(f, [1, 2]) == 3
+        assert bdd.sat_count(f, [1, 2, 3]) == 6
+        assert bdd.sat_count(Bdd.TRUE, [1, 2]) == 4
+        assert bdd.sat_count(Bdd.FALSE, [1]) == 0
+
+    def test_size_counts_reachable_nodes(self):
+        bdd = Bdd()
+        f = bdd.land(bdd.var(1), bdd.var(2))
+        assert bdd.size(f) == 2
+        assert bdd.size(Bdd.TRUE) == 0
+
+
+class TestBddSolver:
+    @settings(max_examples=80, deadline=None)
+    @given(dqbf_strategy(max_universals=3, max_existentials=3, max_clauses=8))
+    def test_matches_oracle(self, formula):
+        expected = SAT if expansion_solve(formula) else UNSAT
+        assert solve_bdd(formula.copy()).status == expected
+
+    def test_limits(self):
+        from repro.pec.families import make_comp
+
+        formula = make_comp(8, 3, buggy=False, seed=3).formula
+        assert solve_bdd(formula.copy(), Limits(time_limit=0.0)).status == TIMEOUT
+        result = solve_bdd(formula.copy(), Limits(node_limit=1, time_limit=5))
+        assert result.status in (MEMOUT, TIMEOUT)
+
+    def test_stats(self):
+        formula = Dqbf.build(
+            [1, 2], [(3, [1]), (4, [2])],
+            [[3, 4, 1], [-3, -4, 2], [3, -4, -1], [-3, 4, -2]],
+        )
+        from repro.bdd.solver import BddEliminationSolver
+
+        solver = BddEliminationSolver()
+        result = solver.solve(formula)
+        assert result.solved
+        assert result.stats.get("universal_eliminations", 0) >= 1

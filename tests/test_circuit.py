@@ -1,0 +1,165 @@
+"""Tests for the gate-level circuit model."""
+
+import itertools
+
+import pytest
+
+from repro.aig.graph import Aig
+from repro.pec.circuit import BlackBox, Circuit, Gate
+
+
+def mux_circuit() -> Circuit:
+    c = Circuit("mux", ["s", "a", "b"], ["o"])
+    c.add_gate("ns", "not", ["s"])
+    c.add_gate("t0", "and", ["ns", "a"])
+    c.add_gate("t1", "and", ["s", "b"])
+    c.add_gate("o", "or", ["t0", "t1"])
+    return c
+
+
+class TestConstruction:
+    def test_gate_kind_validation(self):
+        c = Circuit("c", ["a"], ["o"])
+        with pytest.raises(ValueError):
+            c.add_gate("o", "nandy", ["a"])
+
+    def test_not_gate_arity(self):
+        with pytest.raises(ValueError):
+            Gate("o", "not", ["a", "b"])
+
+    def test_const_gates_take_no_inputs(self):
+        with pytest.raises(ValueError):
+            Gate("o", "const0", ["a"])
+
+    def test_black_box_needs_outputs(self):
+        with pytest.raises(ValueError):
+            BlackBox("bb", ["a"], [])
+
+    def test_double_driver_rejected(self):
+        c = Circuit("c", ["a"], ["o"])
+        c.add_gate("o", "buf", ["a"])
+        c.add_gate("o", "not", ["a"])
+        with pytest.raises(ValueError):
+            c.validate()
+
+    def test_undriven_input_rejected(self):
+        c = Circuit("c", ["a"], ["o"])
+        c.add_gate("o", "and", ["a", "ghost"])
+        with pytest.raises(ValueError):
+            c.validate()
+
+    def test_undriven_output_rejected(self):
+        c = Circuit("c", ["a"], ["o"])
+        with pytest.raises(ValueError):
+            c.validate()
+
+    def test_cycle_rejected(self):
+        c = Circuit("c", ["a"], ["o"])
+        c.add_gate("x", "and", ["a", "y"])
+        c.add_gate("y", "and", ["a", "x"])
+        c.add_gate("o", "buf", ["x"])
+        with pytest.raises(ValueError):
+            c.validate()
+
+    def test_copy_independent(self):
+        c = mux_circuit()
+        clone = c.copy("mux2")
+        clone.add_gate("extra", "not", ["a"])
+        assert len(c.gates) == 4
+        assert clone.name == "mux2"
+
+
+class TestSimulate:
+    def test_mux_truth_table(self):
+        c = mux_circuit()
+        for s, a, b in itertools.product([False, True], repeat=3):
+            out = c.simulate({"s": s, "a": a, "b": b})
+            assert out["o"] == (b if s else a)
+
+    @pytest.mark.parametrize(
+        "kind,table",
+        [
+            ("and", lambda a, b: a and b),
+            ("or", lambda a, b: a or b),
+            ("xor", lambda a, b: a ^ b),
+            ("xnor", lambda a, b: not (a ^ b)),
+            ("nand", lambda a, b: not (a and b)),
+            ("nor", lambda a, b: not (a or b)),
+        ],
+    )
+    def test_binary_gates(self, kind, table):
+        c = Circuit("g", ["a", "b"], ["o"])
+        c.add_gate("o", kind, ["a", "b"])
+        for a, b in itertools.product([False, True], repeat=2):
+            assert c.simulate({"a": a, "b": b})["o"] == table(a, b)
+
+    def test_constants(self):
+        c = Circuit("k", ["a"], ["z", "one"])
+        c.add_gate("z", "const0", [])
+        c.add_gate("one", "const1", [])
+        out = c.simulate({"a": False})
+        assert out == {"z": False, "one": True}
+
+    def test_black_box_simulation(self):
+        c = Circuit("bb", ["a", "b"], ["o"])
+        c.add_black_box("box", ["a", "b"], ["m"])
+        c.add_gate("o", "not", ["m"])
+        tables = {"m": {(False, False): False, (False, True): True,
+                        (True, False): True, (True, True): False}}
+        assert c.simulate({"a": True, "b": False}, tables)["o"] is False
+
+    def test_black_box_without_tables_raises(self):
+        c = Circuit("bb", ["a"], ["o"])
+        c.add_black_box("box", ["a"], ["o"])
+        with pytest.raises(ValueError):
+            c.simulate({"a": True})
+
+
+class TestToAig:
+    def test_matches_simulation(self):
+        c = mux_circuit()
+        aig = Aig()
+        edges = c.to_aig(aig, {"s": aig.var(1), "a": aig.var(2), "b": aig.var(3)})
+        for s, a, b in itertools.product([False, True], repeat=3):
+            sim = c.simulate({"s": s, "a": a, "b": b})["o"]
+            val = aig.evaluate(edges["o"], {1: s, 2: a, 3: b})
+            assert sim == val
+
+    def test_all_gate_kinds_match_simulation(self):
+        c = Circuit("all", ["a", "b", "c"], ["o"])
+        c.add_gate("g1", "xor", ["a", "b", "c"])
+        c.add_gate("g2", "xnor", ["a", "b"])
+        c.add_gate("g3", "nand", ["g1", "g2"])
+        c.add_gate("g4", "nor", ["g3", "c"])
+        c.add_gate("g5", "const1", [])
+        c.add_gate("o", "and", ["g4", "g5"])
+
+        aig = Aig()
+        inputs = {"a": aig.var(1), "b": aig.var(2), "c": aig.var(3)}
+        edges = c.to_aig(aig, inputs)
+        for a, b, cc in itertools.product([False, True], repeat=3):
+            sim = c.simulate({"a": a, "b": b, "c": cc})["o"]
+            from repro.aig.graph import FALSE, TRUE
+
+            edge = edges["o"]
+            val = edge == TRUE if edge in (TRUE, FALSE) else aig.evaluate(
+                edge, {1: a, 2: b, 3: cc}
+            )
+            assert sim == val
+
+    def test_black_box_outputs_must_be_supplied(self):
+        c = Circuit("bb", ["a"], ["o"])
+        c.add_black_box("box", ["a"], ["m"])
+        c.add_gate("o", "buf", ["m"])
+        aig = Aig()
+        with pytest.raises(ValueError):
+            c.to_aig(aig, {"a": aig.var(1)})
+
+    def test_topological_order_handles_reverse_declaration(self):
+        c = Circuit("rev", ["a"], ["o"])
+        # gates declared out of order on purpose
+        c.add_gate("o", "buf", ["m"])
+        c.add_gate("m", "not", ["a"])
+        order = [g.output for g in c.topological_order()]
+        assert order.index("m") < order.index("o")
+        assert c.simulate({"a": True})["o"] is False

@@ -1,0 +1,79 @@
+"""Tests for the search-based DQBF solver (the [14] paradigm)."""
+
+from hypothesis import given, settings
+
+from repro.baselines.dpll import DpllDqbfSolver, solve_dpll_dqbf
+from repro.core.result import Limits, SAT, TIMEOUT, UNSAT
+from repro.formula.dqbf import Dqbf, expansion_solve
+
+from conftest import dqbf_strategy
+
+
+class TestKnownInstances:
+    def test_identity_pair_sat(self):
+        formula = Dqbf.build(
+            [1, 2], [(3, [1]), (4, [2])],
+            [[-3, 1], [3, -1], [-4, 2], [4, -2]],
+        )
+        assert solve_dpll_dqbf(formula).status == SAT
+
+    def test_cross_dependency_unsat(self):
+        formula = Dqbf.build([1, 2], [(3, [1])], [[-3, 2], [3, -2]])
+        assert solve_dpll_dqbf(formula).status == UNSAT
+
+    def test_empty_matrix(self):
+        assert solve_dpll_dqbf(Dqbf.build([1], [(2, [1])], [])).status == SAT
+
+    def test_empty_clause(self):
+        assert solve_dpll_dqbf(Dqbf.build([1], [(2, [1])], [[]])).status == UNSAT
+
+    def test_consistency_across_branches(self):
+        """The crux of DQBF search: a Skolem entry fixed in one universal
+        branch must persist into sibling branches agreeing on D_y.
+        y() constant must equal x -> UNSAT."""
+        formula = Dqbf.build([1], [(2, [])], [[-2, 1], [2, -1]])
+        assert solve_dpll_dqbf(formula).status == UNSAT
+
+
+class TestStatsAndLimits:
+    def test_stats_counters(self):
+        formula = Dqbf.build([1, 2], [(3, [1])], [[3, 1, 2], [-3, -1]])
+        solver = DpllDqbfSolver()
+        result = solver.solve(formula)
+        assert result.solved
+        assert result.stats["leaves_visited"] >= 1
+
+    def test_backtracking_happens(self):
+        # force a wrong first choice: y free at leaf 0 but constrained
+        # only at later leaves
+        formula = Dqbf.build(
+            [1, 2], [(3, [])],
+            [[3, 1, 2], [-3, -1, 2], [-3, 1, -2], [-3, -1, -2]],
+        )
+        solver = DpllDqbfSolver()
+        result = solver.solve(formula)
+        assert result.solved
+
+    def test_timeout(self):
+        from repro.pec.families import make_adder
+
+        formula = make_adder(5, 2, buggy=False, seed=1).formula
+        result = solve_dpll_dqbf(formula, Limits(time_limit=0.05))
+        assert result.status == TIMEOUT
+
+    def test_deep_universal_tree_no_recursion_error(self):
+        """12 universals = 4096 leaves: must not hit the recursion limit."""
+        universals = list(range(1, 13))
+        formula = Dqbf.build(
+            universals, [(13, universals)], [[13] + universals]
+        )
+        result = solve_dpll_dqbf(formula, Limits(time_limit=30))
+        assert result.status == SAT
+
+
+class TestAgainstOracle:
+    @settings(max_examples=100, deadline=None)
+    @given(dqbf_strategy(max_universals=3, max_existentials=3, max_clauses=8))
+    def test_matches_expansion_oracle(self, formula):
+        expected = SAT if expansion_solve(formula) else UNSAT
+        assert solve_dpll_dqbf(formula.copy(), Limits(time_limit=30)).status == expected

@@ -1,0 +1,108 @@
+"""Cross-checks between the two semantic DQBF oracles.
+
+``skolem_enumeration_solve`` implements Definition 2 literally;
+``expansion_solve`` iterates Theorem 1 to a propositional formula.  They
+must agree — each validates the other, and together they anchor every
+solver test in the suite.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.formula.dqbf import (
+    Dqbf,
+    expand_to_propositional,
+    expansion_solve,
+    skolem_enumeration_solve,
+)
+
+from conftest import dqbf_strategy
+
+
+class TestOracleAgreement:
+    @settings(max_examples=150, deadline=None)
+    @given(dqbf_strategy(max_universals=3, max_existentials=2, max_clauses=6))
+    def test_skolem_equals_expansion(self, formula):
+        assert skolem_enumeration_solve(formula) == expansion_solve(formula)
+
+
+class TestKnownInstances:
+    def test_equality_pair_is_sat(self):
+        """y1(x1) == x1 and y2(x2) == x2 is realizable."""
+        formula = Dqbf.build(
+            [1, 2], [(3, [1]), (4, [2])],
+            [[-3, 1], [3, -1], [-4, 2], [4, -2]],
+        )
+        assert skolem_enumeration_solve(formula)
+        assert expansion_solve(formula)
+
+    def test_cross_dependency_is_unsat(self):
+        """y(x1) == x2 cannot be realized: y does not see x2."""
+        formula = Dqbf.build([1, 2], [(3, [1])], [[-3, 2], [3, -2]])
+        assert not skolem_enumeration_solve(formula)
+        assert not expansion_solve(formula)
+
+    def test_empty_dependency_constant(self):
+        """y() == x is unrealizable, y() free is fine."""
+        forced = Dqbf.build([1], [(2, [])], [[-2, 1], [2, -1]])
+        assert not expansion_solve(forced)
+        free = Dqbf.build([1], [(2, [])], [[2, 1]])
+        assert expansion_solve(free)
+
+    def test_tautological_matrix(self):
+        formula = Dqbf.build([1], [(2, [1])], [[1, -1, 2]])
+        # clause is a tautology and gets dropped: empty matrix is satisfied
+        assert expansion_solve(formula)
+
+    def test_contradictory_matrix(self):
+        formula = Dqbf.build([1], [(2, [1])], [[2], [-2]])
+        assert not expansion_solve(formula)
+
+
+class TestExpansion:
+    def test_instance_variable_sharing(self):
+        """Instances agreeing on D_y must share expansion variables."""
+        # y depends only on x1: four universal branches but two y-instances
+        formula = Dqbf.build([1, 2], [(3, [1])], [[3]])
+        _cnf, instances = expand_to_propositional(formula)
+        assert len(instances) == 2
+
+    def test_full_dependency_gives_all_instances(self):
+        formula = Dqbf.build([1, 2], [(3, [1, 2])], [[3]])
+        _cnf, instances = expand_to_propositional(formula)
+        assert len(instances) == 4
+
+    def test_satisfied_branches_produce_no_instances(self):
+        # the clause is satisfied whenever x1 or x2 holds: only the
+        # all-false branch instantiates y
+        formula = Dqbf.build([1, 2], [(3, [1])], [[3, 1, 2]])
+        _cnf, instances = expand_to_propositional(formula)
+        assert len(instances) == 1
+
+    def test_limit_enforced(self):
+        formula = Dqbf.build(
+            list(range(1, 21)), [(21, list(range(1, 21)))], [[21]]
+        )
+        with pytest.raises(ValueError):
+            expansion_solve(formula, limit=100)
+
+    def test_skolem_limit_enforced(self):
+        formula = Dqbf.build(
+            list(range(1, 6)), [(6, list(range(1, 6)))], [[6]]
+        )
+        with pytest.raises(ValueError):
+            skolem_enumeration_solve(formula, limit=10)
+
+
+class TestValidation:
+    def test_free_variable_rejected(self):
+        formula = Dqbf.build([1], [(2, [1])], [[3]])
+        assert formula.free_variables() == [3]
+        with pytest.raises(ValueError):
+            formula.validate()
+
+    def test_is_qbf_matches_prefix_shape(self):
+        qbf_like = Dqbf.build([1, 2], [(3, [1]), (4, [1, 2])], [[3, 4]])
+        assert qbf_like.is_qbf()
+        henkin = Dqbf.build([1, 2], [(3, [1]), (4, [2])], [[3, 4]])
+        assert not henkin.is_qbf()

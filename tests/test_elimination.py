@@ -1,0 +1,125 @@
+"""Tests for Theorem 1/2 eliminations on the AIG-backed state."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.aig.cnf_bridge import cnf_to_aig
+from repro.core.elimination import (
+    eliminable_existentials,
+    eliminate_existential,
+    eliminate_universal,
+    universal_elimination_cost,
+)
+from repro.core.state import AigDqbf
+from repro.formula.dqbf import Dqbf, expansion_solve
+
+from conftest import dqbf_strategy
+
+
+def state_of(formula: Dqbf) -> AigDqbf:
+    aig, root = cnf_to_aig(formula.matrix.clauses)
+    next_var = max([formula.matrix.num_vars] + formula.prefix.all_variables()) + 1
+    return AigDqbf(aig, root, formula.prefix.copy(), next_var)
+
+
+def state_truth(state: AigDqbf) -> bool:
+    """Decide the state's DQBF with the expansion oracle (small only)."""
+    import itertools
+
+    universals = state.prefix.universals
+    existentials = state.prefix.existentials
+    deps = {y: sorted(state.prefix.dependencies(y)) for y in existentials}
+
+    tables = []
+    for y in existentials:
+        rows = 1 << len(deps[y])
+        tables.append(list(itertools.product([False, True], repeat=rows)))
+
+    for combo in itertools.product(*tables):
+        ok = True
+        for values in itertools.product([False, True], repeat=len(universals)):
+            assignment = dict(zip(universals, values))
+            for y, table in zip(existentials, combo):
+                row = 0
+                for x in deps[y]:
+                    row = (row << 1) | int(assignment[x])
+                assignment[y] = table[row]
+            if not state.evaluate(assignment):
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+class TestUniversalElimination:
+    def test_copies_created_for_dependents(self):
+        formula = Dqbf.build([1, 2], [(3, [1, 2]), (4, [2])], [[3, 4, 1], [-3, -4, 2]])
+        state = state_of(formula)
+        copies = eliminate_universal(state, 2)
+        # both 3 and 4 depend on x2 and occur in the 1-cofactor
+        assert set(copies) <= {3, 4}
+        for original, copy in copies.items():
+            assert state.prefix.is_existential(copy)
+            assert state.prefix.dependencies(copy) == (
+                state.prefix.dependencies(original)
+            )
+        assert not state.prefix.is_universal(2)
+
+    def test_nondependents_not_copied(self):
+        formula = Dqbf.build([1, 2], [(3, [1])], [[3, 2], [-3, 1]])
+        state = state_of(formula)
+        copies = eliminate_universal(state, 2)
+        assert copies == {}
+
+    def test_rejects_existential(self):
+        formula = Dqbf.build([1], [(2, [1])], [[2]])
+        state = state_of(formula)
+        with pytest.raises(ValueError):
+            eliminate_universal(state, 2)
+
+    @settings(max_examples=80, deadline=None)
+    @given(dqbf_strategy(max_universals=3, max_existentials=2, max_clauses=6))
+    def test_preserves_truth(self, formula):
+        expected = expansion_solve(formula)
+        state = state_of(formula)
+        x = state.prefix.universals[0]
+        eliminate_universal(state, x)
+        assert state_truth(state) == expected
+
+
+class TestExistentialElimination:
+    def test_requires_full_dependency(self):
+        formula = Dqbf.build([1, 2], [(3, [1])], [[3, 2]])
+        state = state_of(formula)
+        with pytest.raises(ValueError):
+            eliminate_existential(state, 3)
+
+    def test_eliminable_listing(self):
+        formula = Dqbf.build(
+            [1, 2], [(3, [1, 2]), (4, [1])], [[3, 4]]
+        )
+        state = state_of(formula)
+        assert eliminable_existentials(state) == [3]
+
+    @settings(max_examples=80, deadline=None)
+    @given(dqbf_strategy(max_universals=2, max_existentials=2, max_clauses=6))
+    def test_preserves_truth(self, formula):
+        # force one existential to full dependency so Theorem 2 applies
+        y = formula.prefix.existentials[0]
+        formula.prefix.set_dependencies(y, formula.prefix.universals)
+        expected = expansion_solve(formula)
+        state = state_of(formula)
+        eliminate_existential(state, y)
+        assert state_truth(state) == expected
+        assert y not in state.prefix.existentials
+
+
+class TestCost:
+    def test_cost_counts_dependents(self):
+        formula = Dqbf.build(
+            [1, 2], [(3, [1]), (4, [1]), (5, [2])], [[3, 4, 5]]
+        )
+        state = state_of(formula)
+        assert universal_elimination_cost(state, 1) == 2
+        assert universal_elimination_cost(state, 2) == 1

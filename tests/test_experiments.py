@@ -1,0 +1,145 @@
+"""Tests for the experiment harness (runner, Table I, Fig. 4, ext stats)."""
+
+import pytest
+
+from repro.core.result import SAT, TIMEOUT, UNSAT, SolveResult
+from repro.experiments.extstats import (
+    extended_stats,
+    fraction_solved_fast,
+    maxsat_times,
+    unit_pure_fractions,
+)
+from repro.experiments.fig4 import ScatterPoint, build_scatter, scatter_summary, to_csv
+from repro.experiments.runner import (
+    BenchConfig,
+    RunRecord,
+    SOLVERS,
+    generate_suite,
+    run_solver,
+    run_suite,
+)
+from repro.experiments.table1 import build_table, format_table
+from repro.pec.families import make_adder
+
+
+def tiny_config() -> BenchConfig:
+    return BenchConfig(scale=1.0, count=2, timeout=10.0, node_limit=200000, seed=7)
+
+
+@pytest.fixture(scope="module")
+def records():
+    config = BenchConfig(scale=1.0, count=2, timeout=10.0, node_limit=200000, seed=7)
+    return run_suite(config, solvers=("HQS", "IDQ"), families=("adder", "pec_xor"))
+
+
+class TestRunner:
+    def test_config_from_kwargs(self):
+        config = BenchConfig(scale=2.0, count=3, timeout=1.5, node_limit=10)
+        assert config.scale == 2.0 and config.count == 3
+        limits = config.limits()
+        assert limits.time_limit == 1.5 and limits.node_limit == 10
+
+    def test_config_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "3.0")
+        monkeypatch.setenv("REPRO_BENCH_COUNT", "9")
+        config = BenchConfig()
+        assert config.scale == 3.0 and config.count == 9
+
+    def test_generate_suite(self):
+        suite = generate_suite(tiny_config(), families=("adder",))
+        assert set(suite) == {"adder"}
+        assert len(suite["adder"]) == 2
+
+    def test_run_solver_checks_expected(self):
+        instance = make_adder(3, 1, buggy=True, seed=1)
+        record = run_solver("HQS", instance, tiny_config())
+        assert record.result.status == UNSAT
+        assert record.solved
+
+    def test_wrong_answer_raises(self):
+        instance = make_adder(3, 1, buggy=True, seed=1)
+        instance.expected = True  # sabotage
+        with pytest.raises(AssertionError):
+            run_solver("HQS", instance, tiny_config())
+
+    def test_all_registered_solvers_runnable(self):
+        instance = make_adder(3, 1, buggy=False, seed=2)
+        for name in SOLVERS:
+            record = run_solver(name, instance, tiny_config())
+            assert record.solver == name
+
+    def test_records_cover_suite(self, records):
+        assert len(records) == 2 * 2 * 2  # families x instances x solvers
+
+
+class TestTable1(object):
+    def test_rows_aggregate(self, records):
+        rows = build_table(records)
+        by_key = {(r.family, r.solver): r for r in rows}
+        assert by_key[("adder", "HQS")].instances == 2
+        total_hqs = by_key[("total", "HQS")]
+        assert total_hqs.instances == 4
+        assert total_hqs.solved == total_hqs.sat + total_hqs.unsat
+
+    def test_common_time_uses_shared_instances_only(self):
+        instance = make_adder(3, 1, buggy=True, seed=1)
+        rec_fast = RunRecord(instance, "HQS", SolveResult(UNSAT, 0.5))
+        rec_to = RunRecord(instance, "IDQ", SolveResult(TIMEOUT, 5.0))
+        rows = build_table([rec_fast, rec_to])
+        for row in rows:
+            assert row.total_time_common == 0.0  # not solved by both
+
+    def test_format_table_renders(self, records):
+        text = format_table(build_table(records))
+        assert "family" in text and "total" in text
+
+
+class TestFig4:
+    def test_points_paired(self, records):
+        points = build_scatter(records)
+        assert len(points) == 4
+        for point in points:
+            assert point.hqs_time >= 0 and point.idq_time >= 0
+
+    def test_summary_claims(self, records):
+        points = build_scatter(records)
+        summary = scatter_summary(points)
+        assert summary["points"] == 4
+        assert summary["both_solved"] <= 4
+        # HQS never solves fewer instances than IDQ on these families
+        assert summary["idq_only_solved"] == 0
+
+    def test_speedup_none_when_unsolved(self):
+        instance = make_adder(3, 1, buggy=True, seed=1)
+        point = ScatterPoint("a", "adder", 0.1, 5.0, SAT, TIMEOUT)
+        assert point.speedup is None
+
+    def test_csv_output(self, records):
+        text = to_csv(build_scatter(records))
+        lines = text.strip().split("\n")
+        assert lines[0].startswith("instance,family")
+        assert len(lines) == 5
+
+
+class TestExtStats:
+    def test_fraction_solved_fast(self, records):
+        fraction = fraction_solved_fast(records, "HQS", threshold=100.0)
+        assert fraction == 1.0
+
+    def test_fraction_none_without_solved(self):
+        assert fraction_solved_fast([], "HQS") is None
+
+    def test_maxsat_and_unitpure_series(self, records):
+        assert all(t >= 0 for t in maxsat_times(records))
+        assert all(0 <= f <= 1.0 for f in unit_pure_fractions(records))
+
+    def test_extended_stats_keys(self, records):
+        stats = extended_stats(records)
+        assert set(stats) == {
+            "hqs_under_1s_fraction",
+            "idq_under_1s_fraction",
+            "max_maxsat_time",
+            "mean_maxsat_time",
+            "max_unit_pure_fraction",
+            "mean_unit_pure_fraction",
+        }

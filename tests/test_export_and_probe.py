@@ -1,0 +1,71 @@
+"""Tests for the suite exporter and the Section-IV SAT probe option."""
+
+import os
+
+from hypothesis import given, settings
+
+from repro.core.hqs import HqsOptions, solve_dqbf
+from repro.core.result import SAT, UNSAT
+from repro.experiments.export import export_suite, main as export_main
+from repro.formula.dqbf import expansion_solve
+from repro.formula.dqdimacs import load_dqdimacs
+
+from conftest import dqbf_strategy
+
+
+class TestExport:
+    def test_export_writes_files_and_index(self, tmp_path):
+        directory = str(tmp_path / "suite")
+        total = export_suite(directory, count=2, scale=1.0, families=("adder", "z4"))
+        assert total == 4
+        index = (tmp_path / "suite" / "index.csv").read_text().strip().split("\n")
+        assert index[0].startswith("instance,family")
+        assert len(index) == 5
+        # every exported file parses back and solves to its expected status
+        for line in index[1:]:
+            name, family, expected = line.split(",")[:3]
+            path = os.path.join(directory, family, f"{name}.dqdimacs")
+            formula = load_dqdimacs(path)
+            if expected in ("SAT", "UNSAT"):
+                assert solve_dqbf(formula).status == expected
+
+    def test_cli_entry(self, tmp_path, capsys):
+        export_main([str(tmp_path / "out"), "--count", "1", "--families", "adder"])
+        out = capsys.readouterr().out
+        assert "wrote 1 instances" in out
+
+
+class TestSatProbe:
+    @settings(max_examples=80, deadline=None)
+    @given(dqbf_strategy(max_universals=3, max_existentials=3, max_clauses=8))
+    def test_probe_preserves_answers(self, formula):
+        expected = SAT if expansion_solve(formula) else UNSAT
+        result = solve_dqbf(formula.copy(), options=HqsOptions(use_sat_probe=True))
+        assert result.status == expected
+
+    def test_probe_refutes_zero_branch_conflict(self):
+        """Matrix forces y=1 and y=0 on the all-zero branch.
+
+        Preprocessing is disabled so the probe (and not self-subsuming
+        resolution, which also decides this formula) gets to fire.
+        """
+        from repro.formula.dqbf import Dqbf
+
+        formula = Dqbf.build(
+            [1], [(2, [1])], [[2, 1], [-2, 1]]
+        )
+        result = solve_dqbf(
+            formula,
+            options=HqsOptions(use_sat_probe=True, use_preprocessing=False),
+        )
+        assert result.status == UNSAT
+        assert result.stats.get("sat_probe_refuted") == 1
+
+    def test_probe_catches_idq_style_c432_instances(self):
+        from repro.pec.families import make_c432
+
+        instance = make_c432(3, 5, 3, buggy=True, seed=3)
+        result = solve_dqbf(
+            instance.formula, options=HqsOptions(use_sat_probe=True)
+        )
+        assert result.status == UNSAT

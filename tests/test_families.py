@@ -1,0 +1,218 @@
+"""Tests for the PEC benchmark family generators."""
+
+import pytest
+
+from repro.core.hqs import solve_dqbf
+from repro.core.result import Limits, SAT, UNSAT
+from repro.pec.circuit import Circuit
+from repro.pec.encode import brute_force_realizable
+from repro.pec.families import (
+    FAMILIES,
+    bitcell_arbiter,
+    black_box_free_cone,
+    cut_black_boxes,
+    cut_region_black_box,
+    generate_family,
+    inject_bug,
+    lookahead_arbiter,
+    make_adder,
+    make_bitcell,
+    make_c432,
+    make_comp,
+    make_lookahead,
+    make_pec_xor,
+    make_z4,
+    output_function_differs,
+    ripple_adder,
+    xor_chain,
+)
+
+
+class TestSpecCircuits:
+    def test_ripple_adder_semantics(self):
+        circuit = ripple_adder(3)
+        circuit.validate()
+        for a in range(8):
+            for b in range(8):
+                values = {"cin": False}
+                for i in range(3):
+                    values[f"a{i}"] = bool((a >> i) & 1)
+                    values[f"b{i}"] = bool((b >> i) & 1)
+                out = circuit.simulate(values)
+                total = a + b
+                got = sum(int(out[f"s{i}"]) << i for i in range(3))
+                got += int(out["cout"]) << 3
+                assert got == total
+
+    def test_bitcell_arbiter_grants_first_request(self):
+        circuit = bitcell_arbiter(4)
+        out = circuit.simulate({"r0": False, "r1": True, "r2": True, "r3": False})
+        assert not out["gr0"] and out["gr1"] and not out["gr2"] and not out["gr3"]
+
+    def test_lookahead_matches_bitcell_semantics(self):
+        """Both arbiters implement fixed priority; they must agree."""
+        import itertools
+
+        lookahead = lookahead_arbiter(2, 3)
+        flat = bitcell_arbiter(6)
+        for values in itertools.product([False, True], repeat=6):
+            assignment = {f"r{i}": v for i, v in enumerate(values)}
+            out_a = lookahead.simulate(assignment)
+            out_b = flat.simulate(assignment)
+            for i in range(6):
+                assert out_a[f"gr{i}"] == out_b[f"gr{i}"], (values, i)
+
+    def test_xor_chain_parity(self):
+        circuit = xor_chain(5)
+        out = circuit.simulate({f"x{i}": i % 2 == 0 for i in range(5)})
+        assert out["out"] == (3 % 2 == 1)
+
+
+class TestCutting:
+    def test_cut_preserves_existing_boxes(self):
+        spec = ripple_adder(3)
+        once = cut_black_boxes(spec, ["c1"])
+        twice = cut_black_boxes(once, ["c2"], prefix="bb_more")
+        assert len(twice.black_boxes) == 2
+
+    def test_region_cut_interface(self):
+        spec = ripple_adder(3)
+        region = ["p1", "g1", "t1", "c2"]
+        cut = cut_region_black_box(spec, region, "bbr")
+        cut.validate()
+        box = cut.black_boxes[0]
+        assert set(box.inputs) <= {"a1", "b1", "c1"}
+        assert "c2" in box.outputs and "s1" not in box.outputs
+
+    def test_missing_gate_rejected(self):
+        spec = ripple_adder(2)
+        with pytest.raises(ValueError):
+            cut_black_boxes(spec, ["nope"])
+
+    def test_black_box_free_cone(self):
+        spec = ripple_adder(3)
+        cut = cut_black_boxes(spec, ["c2"])
+        assert black_box_free_cone(cut, "s0")
+        assert black_box_free_cone(cut, "s1")
+        assert not black_box_free_cone(cut, "s2")  # reads c2
+
+
+class TestBugInjection:
+    def test_complement_bug_differs_everywhere(self):
+        spec = xor_chain(3)
+        bugged = inject_bug(spec, "out")
+        for a, b, c in [(0, 0, 0), (1, 0, 1)]:
+            values = {"x0": bool(a), "x1": bool(b), "x2": bool(c)}
+            assert spec.simulate(values)["out"] != bugged.simulate(values)["out"]
+
+    def test_subtle_bug_partial_difference(self):
+        spec = ripple_adder(2)
+        bugged = inject_bug(spec, "s0", subtle=True)  # xor -> or
+        assert output_function_differs(spec, bugged, "s0")
+        # agrees on the all-zero input (or(0,cin)=xor(0,cin))
+        zero = {"a0": False, "a1": False, "b0": False, "b1": False, "cin": False}
+        assert spec.simulate(zero)["s0"] == bugged.simulate(zero)["s0"]
+
+    def test_missing_gate_rejected(self):
+        with pytest.raises(ValueError):
+            inject_bug(ripple_adder(2), "ghost")
+
+
+class TestGenerators:
+    @pytest.mark.parametrize(
+        "make,args",
+        [
+            (make_adder, (3, 1)),
+            (make_bitcell, (4, 1)),
+            (make_lookahead, (2, 1)),
+            (make_pec_xor, (4, 1)),
+            (make_z4, (4, 1)),
+            (make_comp, (4, 2)),
+            (make_c432, (3, 3, 2)),
+        ],
+    )
+    @pytest.mark.parametrize("buggy", [False, True])
+    def test_expected_status_verified_by_hqs(self, make, args, buggy):
+        instance = make(*args, buggy, 11)
+        assert instance.expected is (not buggy)
+        result = solve_dqbf(instance.formula.copy(), limits=Limits(time_limit=30))
+        assert result.status == (SAT if instance.expected else UNSAT)
+
+    def test_clean_instances_realizable_by_oracle(self):
+        """Small clean instances double-checked against brute force."""
+        instance = make_adder(3, 1, buggy=False, seed=5)
+        assert brute_force_realizable(instance.spec, instance.impl)
+
+    def test_bugged_instances_unrealizable_by_oracle(self):
+        instance = make_bitcell(4, 1, buggy=True, seed=5)
+        assert not brute_force_realizable(instance.spec, instance.impl, limit=1 << 24)
+
+    def test_determinism(self):
+        a = make_adder(4, 2, True, seed=9)
+        b = make_adder(4, 2, True, seed=9)
+        assert a.name == b.name
+        assert a.formula.matrix.clauses == b.formula.matrix.clauses
+
+    def test_generate_family_counts_and_mix(self):
+        for family in FAMILIES:
+            instances = generate_family(family, 6, scale=1.0, seed=4)
+            assert len(instances) == 6
+            assert all(inst.family == family for inst in instances)
+            names = {inst.name for inst in instances}
+            assert len(names) == 6  # unique names
+
+    def test_generate_family_sat_fraction(self):
+        instances = generate_family("adder", 30, scale=1.0, sat_fraction=1.0, seed=1)
+        assert all(inst.expected for inst in instances)
+        instances = generate_family("adder", 30, scale=1.0, sat_fraction=0.0, seed=1)
+        assert not any(inst.expected for inst in instances)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            generate_family("mystery", 1)
+
+    def test_scale_increases_size(self):
+        small = generate_family("adder", 3, scale=1.0, seed=2)
+        large = generate_family("adder", 3, scale=2.0, seed=2)
+        small_vars = sum(i.formula.matrix.num_vars for i in small)
+        large_vars = sum(i.formula.matrix.num_vars for i in large)
+        assert large_vars > small_vars
+
+
+class TestMultiplierExtension:
+    """The `mult` extension family (motivated by the paper's intro)."""
+
+    def test_multiplier_semantics(self):
+        import itertools
+
+        from repro.pec.families import array_multiplier
+
+        circuit = array_multiplier(3)
+        circuit.validate()
+        for a in range(8):
+            for b in range(8):
+                values = {}
+                for i in range(3):
+                    values[f"a{i}"] = bool((a >> i) & 1)
+                    values[f"b{i}"] = bool((b >> i) & 1)
+                out = circuit.simulate(values)
+                got = sum(int(out[f"p{k}"]) << k for k in range(6))
+                assert got == a * b, (a, b, got)
+
+    @pytest.mark.parametrize("buggy", [False, True])
+    def test_mult_instances_verified(self, buggy):
+        from repro.pec.families import make_mult
+
+        instance = make_mult(2, 1, buggy, seed=13)
+        result = solve_dqbf(instance.formula.copy(), limits=Limits(time_limit=60))
+        assert result.status == (SAT if instance.expected else UNSAT)
+
+    def test_mult_in_generate_family(self):
+        instances = generate_family("mult", 3, scale=1.0, seed=8)
+        assert len(instances) == 3
+        assert all(inst.family == "mult" for inst in instances)
+
+    def test_extension_families_exported(self):
+        from repro.pec import EXTENSION_FAMILIES
+
+        assert "mult" in EXTENSION_FAMILIES

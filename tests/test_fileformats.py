@@ -1,0 +1,199 @@
+"""Tests for AIGER and BLIF file I/O."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig.aiger import AigerError, load_aiger, parse_aiger, save_aiger, write_aiger
+from repro.aig.graph import Aig, FALSE, TRUE, complement
+from repro.pec.blif import BlifError, load_blif, parse_blif, save_blif, write_blif
+from repro.pec.circuit import Circuit
+from repro.pec.families import cut_black_boxes, ripple_adder, xor_chain
+
+from test_aig_graph import random_edge
+
+
+class TestAigerWrite:
+    def test_header_counts(self):
+        aig = Aig()
+        root = aig.land(aig.var(1), aig.lor(aig.var(2), aig.var(3)))
+        text = write_aiger(aig, [root])
+        header = text.splitlines()[0].split()
+        assert header[0] == "aag"
+        assert header[2] == "3"  # inputs
+        assert header[3] == "0"  # latches
+        assert header[4] == "1"  # outputs
+        assert header[5] == "2"  # and gates
+
+    def test_symbol_table_preserves_labels(self):
+        aig = Aig()
+        root = aig.land(aig.var(7), aig.var(42))
+        text = write_aiger(aig, [root])
+        assert "i0 7" in text
+        assert "i1 42" in text
+
+    def test_constant_outputs(self):
+        aig = Aig()
+        text = write_aiger(aig, [TRUE, FALSE])
+        _aig2, outputs, _labels = parse_aiger(text)
+        assert outputs == [TRUE, FALSE]
+
+
+class TestAigerRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_function_preserved(self, seed):
+        rng = random.Random(seed)
+        aig = Aig()
+        variables = [2, 5, 9]  # deliberately non-contiguous labels
+        roots = [random_edge(aig, rng, variables, 4) for _ in range(rng.randint(1, 3))]
+        parsed, outputs, labels = parse_aiger(write_aiger(aig, roots))
+        assert set(labels.values()) <= set(variables)
+        for values in itertools.product([False, True], repeat=3):
+            assignment = dict(zip(variables, values))
+            for root, out in zip(roots, outputs):
+                original = root == TRUE if root in (TRUE, FALSE) else aig.evaluate(
+                    root, assignment
+                )
+                reloaded = out == TRUE if out in (TRUE, FALSE) else parsed.evaluate(
+                    out, assignment
+                )
+                assert original == reloaded
+
+    def test_file_round_trip(self, tmp_path):
+        aig = Aig()
+        root = aig.lxor(aig.var(1), aig.var(2))
+        path = tmp_path / "f.aag"
+        save_aiger(aig, [root], str(path))
+        parsed, outputs, _labels = load_aiger(str(path))
+        assert parsed.evaluate(outputs[0], {1: True, 2: False})
+
+
+class TestAigerErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "aig 1 1 0 1 0\n2\n2\n",          # binary tag
+            "aag 2 1 1 1 0\n2\n4 2\n2\n",      # latches
+            "aag x 1 0 1 0\n2\n2\n",           # non-integer header
+            "aag 1 1 0 1 0\n2\n",              # truncated
+            "aag 1 1 0 1 0\n3\n2\n",           # odd input literal
+            "aag 2 1 0 1 1\n2\n4\n4 6 2\n",    # undefined literal in AND
+        ],
+    )
+    def test_malformed_rejected(self, text):
+        with pytest.raises(AigerError):
+            parse_aiger(text)
+
+
+class TestBlifRoundTrip:
+    @pytest.mark.parametrize(
+        "circuit",
+        [ripple_adder(3), xor_chain(4)],
+        ids=["adder", "xor_chain"],
+    )
+    def test_complete_circuit_equivalence(self, circuit):
+        reparsed = parse_blif(write_blif(circuit))
+        reparsed.validate()
+        for values in itertools.product([False, True], repeat=len(circuit.inputs)):
+            assignment = dict(zip(circuit.inputs, values))
+            assert circuit.simulate(assignment) == reparsed.simulate(assignment)
+
+    def test_black_boxes_round_trip(self):
+        incomplete = cut_black_boxes(ripple_adder(3), ["c1", "c3"])
+        reparsed = parse_blif(write_blif(incomplete))
+        reparsed.validate()
+        assert len(reparsed.black_boxes) == 2
+        originals = {tuple(b.inputs): tuple(b.outputs) for b in incomplete.black_boxes}
+        for box in reparsed.black_boxes:
+            assert originals[tuple(box.inputs)] == tuple(box.outputs)
+
+    def test_file_round_trip(self, tmp_path):
+        circuit = xor_chain(3)
+        path = tmp_path / "c.blif"
+        save_blif(circuit, str(path))
+        loaded = load_blif(str(path))
+        assert loaded.simulate({"x0": True, "x1": False, "x2": True})["out"] is False
+
+    def test_all_gate_kinds_survive(self):
+        circuit = Circuit("kinds", ["a", "b"], ["o1", "o2", "o3", "o4", "o5"])
+        circuit.add_gate("o1", "nand", ["a", "b"])
+        circuit.add_gate("o2", "nor", ["a", "b"])
+        circuit.add_gate("o3", "xnor", ["a", "b"])
+        circuit.add_gate("k1", "const1", [])
+        circuit.add_gate("o4", "and", ["a", "k1"])
+        circuit.add_gate("k0", "const0", [])
+        circuit.add_gate("o5", "or", ["b", "k0"])
+        reparsed = parse_blif(write_blif(circuit))
+        for values in itertools.product([False, True], repeat=2):
+            assignment = dict(zip(["a", "b"], values))
+            assert circuit.simulate(assignment) == reparsed.simulate(assignment)
+
+
+class TestBlifParsing:
+    def test_generic_sop_cover(self):
+        text = """\
+.model sop
+.inputs a b c
+.outputs f
+.names a b c f
+1-0 1
+01- 1
+.end
+"""
+        circuit = parse_blif(text)
+        circuit.validate()
+        for a, b, c in itertools.product([False, True], repeat=3):
+            expected = (a and not c) or ((not a) and b)
+            got = circuit.simulate({"a": a, "b": b, "c": c})["f"]
+            assert got == expected
+
+    def test_comments_and_continuations(self):
+        text = (
+            ".model m  # trailing comment\n"
+            ".inputs \\\na b\n"
+            ".outputs f\n"
+            ".names a b f\n11 1\n"
+            ".end\n"
+        )
+        circuit = parse_blif(text)
+        assert set(circuit.inputs) == {"a", "b"}
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            ".inputs a\n",                                       # before .model
+            ".model m\n.inputs a\n.outputs f\n.names a f\n2 1\n.end\n",  # bad char
+            ".model m\n.inputs a\n.outputs f\n.names a f\n1 0\n.end\n",  # 0-cover
+            ".model m\n.inputs a\n.outputs f\n.subckt ghost in0=a out0=f\n.end\n",
+            ".model m\n.gate foo\n.end\n",                        # unsupported
+        ],
+    )
+    def test_malformed_rejected(self, text):
+        with pytest.raises(BlifError):
+            parse_blif(text)
+
+    def test_blackbox_model_parsed(self):
+        text = """\
+.model top
+.inputs a b
+.outputs f
+.subckt box in0=a in1=b out0=m
+.names m f
+0 1
+.end
+
+.model box
+.inputs in0 in1
+.outputs out0
+.blackbox
+.end
+"""
+        circuit = parse_blif(text)
+        circuit.validate()
+        assert len(circuit.black_boxes) == 1
+        assert circuit.black_boxes[0].inputs == ["a", "b"]

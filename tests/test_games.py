@@ -1,0 +1,99 @@
+"""Tests for the incomplete-information game application."""
+
+import itertools
+
+import pytest
+
+from repro.core.result import Limits
+from repro.formula.dqbf import expansion_solve
+from repro.games import BooleanGame, blind_coordination, matching_pennies_team
+
+
+class TestModelValidation:
+    def test_player_name_collision(self):
+        game = BooleanGame(["x"])
+        with pytest.raises(ValueError):
+            game.add_player("x", [])
+
+    def test_duplicate_player(self):
+        game = BooleanGame(["x"])
+        game.add_player("p", ["x"])
+        with pytest.raises(ValueError):
+            game.add_player("p", [])
+
+    def test_unknown_observation(self):
+        game = BooleanGame(["x"])
+        with pytest.raises(ValueError):
+            game.add_player("p", ["ghost"])
+
+    def test_unknown_clause_name(self):
+        game = BooleanGame(["x"])
+        game.add_player("p", ["x"])
+        with pytest.raises(ValueError):
+            game.add_win_clause(("ghost", True))
+
+    def test_empty_win_condition_rejected(self):
+        game = BooleanGame(["x"])
+        game.add_player("p", ["x"])
+        with pytest.raises(ValueError):
+            game.to_dqbf()
+
+
+class TestEncoding:
+    def test_dependencies_match_observations(self):
+        game = BooleanGame(["a", "b"])
+        game.add_player("p", ["a"])
+        game.add_player("q", ["b"])
+        game.add_win_clause(("p", True), ("q", True))
+        formula = game.to_dqbf()
+        mapping = game.variable_map()
+        assert formula.prefix.dependencies(mapping["p"]) == frozenset([mapping["a"]])
+        assert formula.prefix.dependencies(mapping["q"]) == frozenset([mapping["b"]])
+        assert not formula.is_qbf()  # genuinely Henkin
+
+    def test_encoding_agrees_with_oracle(self):
+        game = BooleanGame(["a"])
+        game.add_player("p", ["a"])
+        game.add_win_clause(("p", True), ("a", True))
+        game.add_win_clause(("p", False), ("a", False))
+        # p must equal !a ... clause1: p | a ; clause2: !p | !a -> p == !a
+        assert expansion_solve(game.to_dqbf())
+        assert game.has_winning_strategy()
+
+
+class TestKnownGames:
+    def test_matching_pennies_team_winnable(self):
+        for n in (1, 2):
+            game = matching_pennies_team(n)
+            assert game.has_winning_strategy(Limits(time_limit=30))
+
+    def test_blind_coordination_unwinnable(self):
+        game = blind_coordination(2)
+        assert not game.has_winning_strategy(Limits(time_limit=30))
+        assert game.winning_strategies(Limits(time_limit=30)) is None
+
+    def test_strategies_win_every_play(self):
+        game = matching_pennies_team(2)
+        strategies = game.winning_strategies(Limits(time_limit=60))
+        assert strategies is not None
+        assert set(strategies) == {"p0", "p1"}
+        for values in itertools.product([False, True], repeat=2):
+            play = dict(zip(["x0", "x1"], values))
+            assert game.play(strategies, play), play
+
+    def test_partial_observation_matters(self):
+        """The same win condition becomes unwinnable when a player loses
+        its observation."""
+        # team must output (p == a) and (q == b)
+        def build(p_sees, q_sees):
+            game = BooleanGame(["a", "b"])
+            game.add_player("p", p_sees)
+            game.add_player("q", q_sees)
+            game.add_win_clause(("p", True), ("a", False))
+            game.add_win_clause(("p", False), ("a", True))
+            game.add_win_clause(("q", True), ("b", False))
+            game.add_win_clause(("q", False), ("b", True))
+            return game
+
+        assert build(["a"], ["b"]).has_winning_strategy()
+        assert not build(["b"], ["a"]).has_winning_strategy()

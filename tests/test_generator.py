@@ -1,0 +1,87 @@
+"""Tests for the random DQBF generator."""
+
+import random
+
+import pytest
+
+from repro.formula.generator import (
+    RandomDqbfConfig,
+    henkin_fraction,
+    random_dqbf,
+    random_qbf_shaped_dqbf,
+)
+
+
+class TestConfigValidation:
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            RandomDqbfConfig(num_universals=-1)
+
+    def test_bad_density_rejected(self):
+        with pytest.raises(ValueError):
+            RandomDqbfConfig(dependency_density=1.5)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            RandomDqbfConfig(clause_width=0)
+
+
+class TestRandomDqbf:
+    def test_closed_and_well_formed(self):
+        rng = random.Random(1)
+        for _ in range(50):
+            formula = random_dqbf(rng)
+            formula.validate()
+            assert len(formula.prefix.universals) == 3
+            assert len(formula.prefix.existentials) == 3
+
+    def test_determinism_per_seed(self):
+        a = random_dqbf(random.Random(7))
+        b = random_dqbf(random.Random(7))
+        assert a.matrix.clauses == b.matrix.clauses
+        assert a.prefix == b.prefix
+
+    def test_density_extremes(self):
+        rng = random.Random(2)
+        full = random_dqbf(rng, RandomDqbfConfig(dependency_density=1.0))
+        for y in full.prefix.existentials:
+            assert full.prefix.dependencies(y) == frozenset(full.prefix.universals)
+        empty = random_dqbf(rng, RandomDqbfConfig(dependency_density=0.0))
+        for y in empty.prefix.existentials:
+            assert empty.prefix.dependencies(y) == frozenset()
+
+    def test_forced_nonempty_dependencies(self):
+        rng = random.Random(3)
+        config = RandomDqbfConfig(
+            dependency_density=0.0, allow_empty_dependencies=False
+        )
+        formula = random_dqbf(rng, config)
+        for y in formula.prefix.existentials:
+            assert formula.prefix.dependencies(y)
+
+    def test_density_controls_henkin_fraction(self):
+        rng = random.Random(4)
+        low = [random_dqbf(rng, RandomDqbfConfig(dependency_density=0.4)) for _ in range(60)]
+        high = [random_dqbf(rng, RandomDqbfConfig(dependency_density=1.0)) for _ in range(60)]
+        assert henkin_fraction(high) == 0.0
+        assert henkin_fraction(low) > 0.2
+
+
+class TestQbfShaped:
+    def test_always_linearizable(self):
+        rng = random.Random(5)
+        for _ in range(50):
+            formula = random_qbf_shaped_dqbf(rng)
+            assert formula.is_qbf()
+
+    def test_solvers_agree_on_generated(self):
+        from repro.core import solve_dqbf
+        from repro.formula.dqbf import expansion_solve
+
+        rng = random.Random(6)
+        for _ in range(30):
+            formula = random_dqbf(
+                rng, RandomDqbfConfig(num_universals=2, num_existentials=2, num_clauses=8)
+            )
+            expected = "SAT" if expansion_solve(formula) else "UNSAT"
+            assert solve_dqbf(formula.copy()).status == expected

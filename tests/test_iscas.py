@@ -1,0 +1,101 @@
+"""Tests for the ISCAS'85-style stand-in circuits (z4ml, comp, C432)."""
+
+import itertools
+
+import pytest
+
+from repro.pec.iscas import c432_like, comp_like, z4ml_like
+
+
+class TestZ4mlLike:
+    @pytest.mark.parametrize("bits", [2, 4, 6])
+    def test_adds_correctly(self, bits):
+        circuit = z4ml_like(bits)
+        circuit.validate()
+        for a in range(1 << bits):
+            for b in range(0, 1 << bits, max(1, (1 << bits) // 8)):
+                for cin in (0, 1):
+                    values = {}
+                    for i in range(bits):
+                        values[f"a{i}"] = bool((a >> i) & 1)
+                        values[f"b{i}"] = bool((b >> i) & 1)
+                    values["cin"] = bool(cin)
+                    out = circuit.simulate(values)
+                    total = (a + b + cin) % (1 << bits)
+                    got = sum(int(out[f"s{i}"]) << i for i in range(bits))
+                    assert got == total, (a, b, cin)
+
+    def test_has_redundant_carry_select_structure(self):
+        circuit = z4ml_like(4)
+        names = {g.output for g in circuit.gates}
+        # both the carry-0 and carry-1 upper chains exist
+        assert "zs2" in names and "os2" in names
+
+
+class TestCompLike:
+    @pytest.mark.parametrize("bits", [2, 3, 5])
+    def test_compares_correctly(self, bits):
+        circuit = comp_like(bits)
+        circuit.validate()
+        for a in range(1 << bits):
+            for b in range(1 << bits):
+                values = {}
+                for i in range(bits):
+                    values[f"a{i}"] = bool((a >> i) & 1)
+                    values[f"b{i}"] = bool((b >> i) & 1)
+                out = circuit.simulate(values)
+                assert out["gt"] == (a > b), (a, b)
+                assert out["eq"] == (a == b), (a, b)
+
+    def test_parity_output(self):
+        circuit = comp_like(3)
+        for a in range(8):
+            values = {f"a{i}": bool((a >> i) & 1) for i in range(3)}
+            values.update({f"b{i}": False for i in range(3)})
+            out = circuit.simulate(values)
+            assert out["par"] == (bin(a).count("1") % 2 == 1)
+
+
+class TestC432Like:
+    def test_priority_semantics(self):
+        circuit = c432_like(groups=3, channels=4)
+        circuit.validate()
+
+        def run(reqs, enables):
+            values = {}
+            for g in range(3):
+                values[f"en{g}"] = enables[g]
+                for k in range(4):
+                    values[f"r{g}_{k}"] = (g, k) in reqs
+            return circuit.simulate(values)
+
+        # no requests: no grants
+        out = run(set(), [True] * 3)
+        assert not any(out[f"grant{g}"] for g in range(3))
+
+        # group 1 requests, group 0 idle: grant group 1
+        out = run({(1, 2)}, [True] * 3)
+        assert out["grant1"] and not out["grant0"] and not out["grant2"]
+        # channel index 2 encoded
+        assert out["idx1"] and not out["idx0"]
+
+        # group 0 beats group 1
+        out = run({(0, 3), (1, 0)}, [True] * 3)
+        assert out["grant0"] and not out["grant1"]
+        assert out["idx0"] and out["idx1"]  # channel 3
+
+        # disabled group is skipped
+        out = run({(0, 1), (2, 1)}, [False, True, True])
+        assert not out["grant0"] and out["grant2"]
+        assert out["idx0"] and not out["idx1"]  # channel 1
+
+    def test_channel_priority_within_group(self):
+        circuit = c432_like(groups=2, channels=3)
+        values = {"en0": True, "en1": True}
+        for k in range(3):
+            values[f"r0_{k}"] = k >= 1  # channels 1 and 2 request
+            values[f"r1_{k}"] = False
+        out = circuit.simulate(values)
+        assert out["grant0"]
+        # lowest requesting channel (1) wins
+        assert out["idx0"] and not out["idx1"]

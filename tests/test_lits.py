@@ -1,0 +1,77 @@
+"""Tests for DIMACS literal helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.formula.lits import evaluate, is_positive, lit_of, negate, var_of, variables_of
+
+
+class TestVarOf:
+    def test_positive(self):
+        assert var_of(5) == 5
+
+    def test_negative(self):
+        assert var_of(-7) == 7
+
+    @given(st.integers(1, 10**6))
+    def test_polarity_independent(self, v):
+        assert var_of(v) == var_of(-v) == v
+
+
+class TestNegate:
+    def test_flips_sign(self):
+        assert negate(3) == -3
+        assert negate(-3) == 3
+
+    @given(st.integers(1, 10**6), st.booleans())
+    def test_involution(self, v, sign):
+        lit = v if sign else -v
+        assert negate(negate(lit)) == lit
+
+
+class TestLitOf:
+    def test_true_gives_positive(self):
+        assert lit_of(4, True) == 4
+
+    def test_false_gives_negative(self):
+        assert lit_of(4, False) == -4
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_rejects_nonpositive_vars(self, bad):
+        with pytest.raises(ValueError):
+            lit_of(bad, True)
+
+
+class TestEvaluate:
+    def test_positive_literal(self):
+        assert evaluate(2, {2: True}) is True
+        assert evaluate(2, {2: False}) is False
+
+    def test_negative_literal(self):
+        assert evaluate(-2, {2: True}) is False
+        assert evaluate(-2, {2: False}) is True
+
+    def test_unassigned_raises(self):
+        with pytest.raises(KeyError):
+            evaluate(3, {2: True})
+
+    @given(st.integers(1, 50), st.booleans())
+    def test_literal_and_negation_disagree(self, v, value):
+        assignment = {v: value}
+        assert evaluate(v, assignment) != evaluate(-v, assignment)
+
+
+class TestIsPositive:
+    @given(st.integers(1, 100))
+    def test_matches_sign(self, v):
+        assert is_positive(v)
+        assert not is_positive(-v)
+
+
+class TestVariablesOf:
+    def test_mixed(self):
+        assert variables_of([1, -2, 3, -3]) == {1, 2, 3}
+
+    def test_empty(self):
+        assert variables_of([]) == set()

@@ -1,0 +1,110 @@
+"""Tests for the totalizer encoding and the partial MaxSAT solver."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.maxsat.solver import PartialMaxSatSolver, solve_partial_maxsat
+from repro.maxsat.totalizer import Totalizer, encode_at_most_k
+from repro.sat.solver import SAT, UNSAT, CdclSolver
+
+
+def brute_force_optimum(hard, soft, num_vars):
+    best = None
+    for values in itertools.product([False, True], repeat=num_vars):
+        assignment = dict(zip(range(1, num_vars + 1), values))
+
+        def satisfied(clause):
+            return any((lit > 0) == assignment[abs(lit)] for lit in clause)
+
+        if all(satisfied(c) for c in hard):
+            cost = sum(0 if satisfied(c) else 1 for c in soft)
+            best = cost if best is None else min(best, cost)
+    return best
+
+
+class TestTotalizer:
+    @pytest.mark.parametrize("n,k", [(1, 0), (3, 1), (4, 2), (5, 0), (5, 4)])
+    def test_at_most_k_blocks_excess(self, n, k):
+        solver = CdclSolver()
+        inputs = [solver.new_var() for _ in range(n)]
+        encode_at_most_k(inputs, k, solver.new_var, solver.add_clause)
+        # forcing k+1 inputs true must be UNSAT; forcing k true must be SAT
+        assert solver.solve(inputs[: k + 1]) == (UNSAT if k + 1 <= n else SAT)
+        if k > 0:
+            assert solver.solve(inputs[:k]) == SAT
+
+    def test_outputs_count_inputs(self):
+        solver = CdclSolver()
+        inputs = [solver.new_var() for _ in range(4)]
+        totalizer = Totalizer(inputs, solver.new_var, solver.add_clause)
+        # set exactly 2 inputs true: outputs[0..1] must be assertable true,
+        # asserting output[2] (>=3) must clash with the complement bound
+        assumptions = [inputs[0], inputs[1], -inputs[2], -inputs[3]]
+        assert solver.solve(assumptions + [totalizer.outputs[0]]) == SAT
+        assert solver.solve(assumptions + [totalizer.outputs[1]]) == SAT
+
+    def test_at_most_assumption_large_bound_empty(self):
+        solver = CdclSolver()
+        inputs = [solver.new_var() for _ in range(3)]
+        totalizer = Totalizer(inputs, solver.new_var, solver.add_clause)
+        assert totalizer.at_most_assumption(3) == []
+        assert totalizer.at_most_assumption(7) == []
+
+
+class TestPartialMaxSat:
+    def test_all_soft_satisfiable(self):
+        result = solve_partial_maxsat(hard=[[1, 2]], soft=[[1], [2]])
+        assert result.satisfiable and result.cost == 0
+
+    def test_forced_violation(self):
+        result = solve_partial_maxsat(hard=[[1]], soft=[[-1]])
+        assert result.satisfiable and result.cost == 1
+
+    def test_hard_conflict_unsat(self):
+        result = solve_partial_maxsat(hard=[[1], [-1]], soft=[[2]])
+        assert not result.satisfiable
+
+    def test_exclusive_softs(self):
+        result = solve_partial_maxsat(hard=[[-1, -2]], soft=[[1], [2]])
+        assert result.cost == 1
+
+    def test_no_soft_clauses(self):
+        result = solve_partial_maxsat(hard=[[1]], soft=[])
+        assert result.satisfiable and result.cost == 0
+
+    def test_empty_soft_rejected(self):
+        solver = PartialMaxSatSolver()
+        with pytest.raises(ValueError):
+            solver.add_soft([])
+
+    def test_model_satisfies_hard_clauses(self):
+        result = solve_partial_maxsat(
+            hard=[[1, 2], [-1, 3]], soft=[[-3], [-2]]
+        )
+        assert result.satisfiable
+        model = result.model
+        assert (model.get(1) or model.get(2)) and ((not model.get(1)) or model.get(3))
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_matches_brute_force(self, data):
+        num_vars = data.draw(st.integers(1, 6))
+        literals = st.integers(1, num_vars).flatmap(
+            lambda v: st.sampled_from([v, -v])
+        )
+        hard = data.draw(
+            st.lists(st.lists(literals, min_size=1, max_size=3), max_size=8)
+        )
+        soft = data.draw(
+            st.lists(st.lists(literals, min_size=1, max_size=2), min_size=1, max_size=6)
+        )
+        result = solve_partial_maxsat(hard, soft)
+        expected = brute_force_optimum(hard, soft, num_vars)
+        if expected is None:
+            assert not result.satisfiable
+        else:
+            assert result.satisfiable
+            assert result.cost == expected

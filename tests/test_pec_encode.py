@@ -1,0 +1,147 @@
+"""Tests for the PEC -> DQBF encoding against the realizability oracle."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hqs import solve_dqbf
+from repro.core.result import SAT, UNSAT
+from repro.pec.circuit import Circuit
+from repro.pec.encode import brute_force_realizable, encode_pec
+
+
+def xor3_spec() -> Circuit:
+    c = Circuit("spec", ["x0", "x1", "x2"], ["out"])
+    c.add_gate("t1", "xor", ["x0", "x1"])
+    c.add_gate("out", "xor", ["t1", "x2"])
+    return c
+
+
+class TestEncodeValidation:
+    def test_spec_must_be_complete(self):
+        spec = Circuit("s", ["a"], ["o"])
+        spec.add_black_box("bb", ["a"], ["o"])
+        impl = Circuit("i", ["a"], ["o"])
+        impl.add_gate("o", "buf", ["a"])
+        with pytest.raises(ValueError):
+            encode_pec(spec, impl)
+
+    def test_interfaces_must_match(self):
+        spec = Circuit("s", ["a"], ["o"])
+        spec.add_gate("o", "buf", ["a"])
+        impl = Circuit("i", ["b"], ["o"])
+        impl.add_gate("o", "buf", ["b"])
+        with pytest.raises(ValueError):
+            encode_pec(spec, impl)
+
+
+class TestEncodeStructure:
+    def test_variable_kinds(self):
+        spec = xor3_spec()
+        impl = Circuit("impl", spec.inputs, spec.outputs)
+        impl.add_black_box("bb0", ["x0", "x1"], ["t1"])
+        impl.add_gate("out", "xor", ["t1", "x2"])
+        formula = encode_pec(spec, impl)
+        prefix = formula.prefix
+        # 3 primary inputs + 2 z-copies universal
+        assert len(prefix.universals) == 5
+        # exactly one existential (the box output) with |D| = 2, the rest
+        # are Tseitin auxiliaries with full dependency sets
+        box_outputs = [
+            y for y in prefix.existentials
+            if len(prefix.dependencies(y)) == 2
+        ]
+        assert len(box_outputs) == 1
+        for y in prefix.existentials:
+            if y not in box_outputs:
+                assert prefix.dependencies(y) == frozenset(prefix.universals)
+
+    def test_closed_formula(self):
+        spec = xor3_spec()
+        impl = Circuit("impl", spec.inputs, spec.outputs)
+        impl.add_black_box("bb0", ["x0", "x1"], ["t1"])
+        impl.add_gate("out", "xor", ["t1", "x2"])
+        formula = encode_pec(spec, impl)
+        formula.validate()
+
+
+class TestEncodeSemantics:
+    def test_realizable_single_box(self):
+        spec = xor3_spec()
+        impl = Circuit("impl", spec.inputs, spec.outputs)
+        impl.add_black_box("bb0", ["x0", "x1"], ["t1"])
+        impl.add_gate("out", "xor", ["t1", "x2"])
+        assert brute_force_realizable(spec, impl)
+        assert solve_dqbf(encode_pec(spec, impl)).status == SAT
+
+    def test_unrealizable_wrong_tail(self):
+        spec = xor3_spec()
+        impl = Circuit("impl", spec.inputs, spec.outputs)
+        impl.add_black_box("bb0", ["x0", "x1"], ["t1"])
+        impl.add_gate("out", "and", ["t1", "x2"])
+        assert not brute_force_realizable(spec, impl)
+        assert solve_dqbf(encode_pec(spec, impl)).status == UNSAT
+
+    def test_two_boxes_henkin_dependency(self):
+        """xor(u(a), v(b)) == xor(a, b) is realizable; and(u(a), v(b)) is not."""
+        spec = Circuit("spec", ["a", "b"], ["o"])
+        spec.add_gate("o", "xor", ["a", "b"])
+        for tail, realizable in (("xor", True), ("and", False)):
+            impl = Circuit("impl", ["a", "b"], ["o"])
+            impl.add_black_box("bb1", ["a"], ["u"])
+            impl.add_black_box("bb2", ["b"], ["v"])
+            impl.add_gate("o", tail, ["u", "v"])
+            assert brute_force_realizable(spec, impl) == realizable
+            status = solve_dqbf(encode_pec(spec, impl)).status
+            assert status == (SAT if realizable else UNSAT)
+
+    def test_box_feeding_box(self):
+        """Chained black boxes stay realizable."""
+        spec = xor3_spec()
+        impl = Circuit("impl", spec.inputs, spec.outputs)
+        impl.add_black_box("bb0", ["x0", "x1"], ["t1"])
+        impl.add_black_box("bb1", ["t1", "x2"], ["out"])
+        assert brute_force_realizable(spec, impl)
+        assert solve_dqbf(encode_pec(spec, impl)).status == SAT
+
+    def test_unused_box_output_sat(self):
+        """Regression for the aux-variable collision: a black box whose
+        output drives nothing must yield a trivially satisfiable DQBF."""
+        spec = Circuit("spec", ["a", "b"], ["o"])
+        spec.add_gate("o", "and", ["a", "b"])
+        spec.add_gate("dead", "or", ["a", "b"])
+        impl = Circuit("impl", ["a", "b"], ["o"])
+        impl.add_black_box("bb", ["a", "b"], ["dead"])
+        impl.add_gate("o", "and", ["a", "b"])
+        assert solve_dqbf(encode_pec(spec, impl)).status == SAT
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_random_small_circuits_match_oracle(self, seed):
+        rng = random.Random(seed)
+        num_inputs = rng.randint(2, 3)
+        inputs = [f"i{k}" for k in range(num_inputs)]
+        spec = Circuit("spec", inputs, ["o"])
+        signals = list(inputs)
+        for g in range(rng.randint(1, 4)):
+            kind = rng.choice(["and", "or", "xor"])
+            a, b = rng.choice(signals), rng.choice(signals)
+            name = f"g{g}"
+            spec.add_gate(name, kind, [a, b])
+            signals.append(name)
+        spec.add_gate("o", "buf", [signals[-1]])
+
+        # cut one random gate out as a black box
+        cut = rng.choice([g.output for g in spec.gates if g.output != "o"] or ["o"])
+        impl = Circuit("impl", inputs, ["o"])
+        for gate in spec.gates:
+            if gate.output == cut:
+                impl.add_black_box("bb", gate.inputs, [gate.output])
+            else:
+                impl.add_gate(gate.output, gate.kind, gate.inputs)
+
+        expected = brute_force_realizable(spec, impl)
+        assert expected is True  # cutting out a gate is always realizable
+        assert solve_dqbf(encode_pec(spec, impl)).status == SAT

@@ -1,0 +1,126 @@
+"""Tests for black-box synthesis and miter-based verification."""
+
+import itertools
+
+import pytest
+
+from repro.core.result import Limits
+from repro.pec.circuit import Circuit
+from repro.pec.families import cut_black_boxes, inject_bug, ripple_adder, xor_chain
+from repro.pec.verify import (
+    circuits_equivalent,
+    complete_circuit,
+    synthesize_black_boxes,
+    table_to_gates,
+)
+
+
+class TestTableToGates:
+    @pytest.mark.parametrize(
+        "rows,expected",
+        [
+            ({}, lambda a, b: False),
+            (
+                {(False, False): True, (False, True): True,
+                 (True, False): True, (True, True): True},
+                lambda a, b: True,
+            ),
+            ({(True, True): True}, lambda a, b: a and b),
+            (
+                {(True, False): True, (False, True): True},
+                lambda a, b: a ^ b,
+            ),
+            (
+                {(False, False): True},
+                lambda a, b: (not a) and (not b),
+            ),
+        ],
+        ids=["const0", "const1", "and", "xor", "nor-ish"],
+    )
+    def test_sop_matches_table(self, rows, expected):
+        circuit = Circuit("t", ["a", "b"], ["o"])
+        table_to_gates(circuit, "o", ["a", "b"], rows, prefix="syn")
+        circuit.validate()
+        for a, b in itertools.product([False, True], repeat=2):
+            assert circuit.simulate({"a": a, "b": b})["o"] == expected(a, b)
+
+    def test_single_input(self):
+        circuit = Circuit("t", ["a"], ["o"])
+        table_to_gates(circuit, "o", ["a"], {(False,): True}, prefix="syn")
+        assert circuit.simulate({"a": False})["o"] is True
+        assert circuit.simulate({"a": True})["o"] is False
+
+
+class TestCompleteCircuit:
+    def test_completion_replaces_boxes(self):
+        spec = xor_chain(3)
+        incomplete = cut_black_boxes(spec, ["t1"])
+        xor_table = {
+            (False, False): False, (False, True): True,
+            (True, False): True, (True, True): False,
+        }
+        completed = complete_circuit(incomplete, {"t1": xor_table})
+        assert completed.is_complete
+        for values in itertools.product([False, True], repeat=3):
+            assignment = dict(zip(spec.inputs, values))
+            assert completed.simulate(assignment) == spec.simulate(assignment)
+
+    def test_missing_table_rejected(self):
+        incomplete = cut_black_boxes(xor_chain(3), ["t1"])
+        with pytest.raises(ValueError):
+            complete_circuit(incomplete, {})
+
+
+class TestCircuitsEquivalent:
+    def test_equivalent_rewrites(self):
+        left = Circuit("l", ["a", "b"], ["o"])
+        left.add_gate("o", "nand", ["a", "b"])
+        right = Circuit("r", ["a", "b"], ["o"])
+        right.add_gate("na", "not", ["a"])
+        right.add_gate("nb", "not", ["b"])
+        right.add_gate("o", "or", ["na", "nb"])
+        assert circuits_equivalent(left, right)
+
+    def test_inequivalent(self):
+        left = Circuit("l", ["a", "b"], ["o"])
+        left.add_gate("o", "and", ["a", "b"])
+        right = Circuit("r", ["a", "b"], ["o"])
+        right.add_gate("o", "or", ["a", "b"])
+        assert not circuits_equivalent(left, right)
+
+    def test_interface_mismatch_rejected(self):
+        left = Circuit("l", ["a"], ["o"])
+        left.add_gate("o", "buf", ["a"])
+        right = Circuit("r", ["b"], ["o"])
+        right.add_gate("o", "buf", ["b"])
+        with pytest.raises(ValueError):
+            circuits_equivalent(left, right)
+
+
+class TestSynthesis:
+    def test_adder_carry_synthesized_and_verified(self):
+        spec = ripple_adder(2)
+        incomplete = cut_black_boxes(spec, ["c1"])
+        completed = synthesize_black_boxes(spec, incomplete, Limits(time_limit=120))
+        assert completed is not None
+        assert completed.is_complete
+        assert circuits_equivalent(spec, completed)
+
+    def test_two_parallel_boxes(self):
+        spec = Circuit("spec", ["a", "b"], ["o"])
+        spec.add_gate("u", "not", ["a"])
+        spec.add_gate("v", "not", ["b"])
+        spec.add_gate("o", "and", ["u", "v"])
+        incomplete = Circuit("inc", ["a", "b"], ["o"])
+        incomplete.add_black_box("bb1", ["a"], ["u"])
+        incomplete.add_black_box("bb2", ["b"], ["v"])
+        incomplete.add_gate("o", "and", ["u", "v"])
+        completed = synthesize_black_boxes(spec, incomplete, Limits(time_limit=120))
+        assert completed is not None
+        assert circuits_equivalent(spec, completed)
+
+    def test_unrealizable_returns_none(self):
+        spec = ripple_adder(2)
+        incomplete = cut_black_boxes(spec, ["c1"])
+        bugged = inject_bug(incomplete, "s0")
+        assert synthesize_black_boxes(spec, bugged, Limits(time_limit=120)) is None

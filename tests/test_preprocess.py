@@ -1,0 +1,161 @@
+"""Tests for DQBF-aware CNF preprocessing (units, reduction, equivalences, gates)."""
+
+from hypothesis import given, settings
+
+from repro.core.preprocess import Gate, preprocess
+from repro.formula.dqbf import Dqbf, expansion_solve
+
+from conftest import dqbf_strategy
+
+
+class TestUnitPropagation:
+    def test_existential_unit_assigned(self):
+        formula = Dqbf.build([1], [(2, [1]), (3, [1])], [[2], [-2, 3]])
+        result = preprocess(formula)
+        # 2 := true, then 3 is unit too, matrix empties -> SAT
+        assert result.status is True
+        assert result.stats.units_propagated >= 2
+
+    def test_universal_unit_is_unsat(self):
+        formula = Dqbf.build([1], [(2, [1])], [[1], [2]])
+        result = preprocess(formula)
+        assert result.status is False
+
+    def test_conflicting_units_unsat(self):
+        formula = Dqbf.build([1], [(2, [1])], [[2], [-2]])
+        result = preprocess(formula)
+        assert result.status is False
+
+
+class TestUniversalReduction:
+    def test_pure_universal_clause_unsat(self):
+        """A clause of only universal literals reduces to the empty clause."""
+        formula = Dqbf.build([1, 2], [(3, [1])], [[1, 2], [3]])
+        result = preprocess(formula)
+        assert result.status is False
+
+    def test_independent_universal_removed(self):
+        """x2 is dropped from (x2 | y) when y does not depend on x2."""
+        formula = Dqbf.build([1, 2], [(3, [1])], [[2, 3], [-3, 1], [-1, 3]])
+        result = preprocess(formula)
+        # after reduction (x2|y) becomes unit (y), which propagates
+        assert result.stats.universal_reductions >= 1
+
+    def test_dependent_universal_kept(self):
+        formula = Dqbf.build([1], [(2, [1]), (3, [1])], [[1, 2, 3]])
+        result = preprocess(formula)
+        assert result.status is None
+        assert (1, 2, 3) in result.formula.matrix
+
+
+class TestEquivalences:
+    def test_existential_pair_merged(self):
+        # y1 == y2 forced by binary clauses; same dependency sets
+        formula = Dqbf.build(
+            [1],
+            [(2, [1]), (3, [1])],
+            [[-2, 3], [2, -3], [2, 1], [3, -1]],
+        )
+        result = preprocess(formula)
+        assert result.stats.equivalences_substituted >= 1
+
+    def test_dependency_incompatible_pair_kept(self):
+        # y1(x1) == y2(x2): neither may absorb the other
+        formula = Dqbf.build(
+            [1, 2],
+            [(3, [1]), (4, [2])],
+            [[-3, 4], [3, -4], [3, 1, 2], [4, -1, -2]],
+        )
+        result = preprocess(formula)
+        assert result.stats.equivalences_substituted == 0
+
+    def test_existential_absorbed_by_universal(self):
+        # y == x with x in D_y: y replaced by x
+        formula = Dqbf.build(
+            [1, 2],
+            [(3, [1])],
+            [[-3, 1], [3, -1], [3, 2], [-3, -2]],
+        )
+        result = preprocess(formula)
+        # after substitution the matrix forces (x1|x2) & (!x1|!x2) on
+        # universals only -> universal reduction gives UNSAT
+        assert result.status is False
+
+
+class TestGateDetection:
+    def test_and_gate_found(self):
+        # g <-> (a & b) with a, b universal, g existential on both
+        formula = Dqbf.build(
+            [1, 2],
+            [(3, [1, 2]), (4, [1, 2])],
+            [[-3, 1], [-3, 2], [3, -1, -2], [3, 4], [-4, 1]],
+        )
+        result = preprocess(formula)
+        assert result.stats.gates_detected >= 1
+        kinds = {g.kind for g in result.gates}
+        assert kinds <= {"and", "or", "xor"}
+
+    def test_xor_gate_found(self):
+        formula = Dqbf.build(
+            [1, 2],
+            [(3, [1, 2]), (4, [1, 2])],
+            [
+                [3, 1, 2], [3, -1, -2], [-3, 1, -2], [-3, -1, 2],
+                [3, 4], [-4, 1],
+            ],
+        )
+        result = preprocess(formula)
+        assert result.stats.gates_detected >= 1
+
+    def test_dependency_incompatible_gate_rejected(self):
+        # g depends only on x1 but the gate reads x2: not inlineable
+        formula = Dqbf.build(
+            [1, 2],
+            [(3, [1])],
+            [[-3, 1], [-3, 2], [3, -1, -2], [3, 2]],
+        )
+        result = preprocess(formula)
+        assert result.stats.gates_detected == 0
+
+    def test_gate_clauses_removed(self):
+        formula = Dqbf.build(
+            [1, 2],
+            [(3, [1, 2]), (4, [1, 2])],
+            [[-3, 1], [-3, 2], [3, -1, -2], [3, 4], [-4, 1]],
+        )
+        result = preprocess(formula)
+        if result.status is None and result.stats.gates_detected:
+            remaining = set(result.formula.matrix.clauses)
+            assert (-3, 1) not in remaining
+
+    def test_gate_helper_methods(self):
+        gate = Gate(5, "and", [1, -2])
+        assert gate.input_vars() == {1, 2}
+        assert "and" in repr(gate)
+
+
+class TestSoundness:
+    @settings(max_examples=120, deadline=None)
+    @given(dqbf_strategy(max_universals=3, max_existentials=3, max_clauses=8))
+    def test_preprocessing_preserves_truth(self, formula):
+        """Decided results must agree with the oracle; undecided results
+        must stay equisatisfiable (checked via the full HQS pipeline in
+        test_hqs, here via expansion of the simplified formula)."""
+        expected = expansion_solve(formula)
+        result = preprocess(formula)
+        if result.status is not None:
+            assert result.status == expected
+        elif not result.gates:
+            # without gates the simplified formula is a plain DQBF again
+            assert expansion_solve(result.formula, limit=1 << 18) == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(dqbf_strategy(max_universals=3, max_existentials=3, max_clauses=8))
+    def test_no_gate_detection_variant(self, formula):
+        expected = expansion_solve(formula)
+        result = preprocess(formula, detect_gates=False)
+        assert result.gates == []
+        if result.status is not None:
+            assert result.status == expected
+        else:
+            assert expansion_solve(result.formula, limit=1 << 18) == expected

@@ -1,0 +1,114 @@
+"""Tests for the QBF solvers (AIG elimination back-end and QDPLL oracle)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.result import Limits
+from repro.errors import TimeoutExceeded
+from repro.formula.prefix import EXISTS, FORALL, BlockedPrefix
+from repro.formula.qbf import Qbf, brute_force_qbf
+from repro.qbf.aigsolve import QbfSolverStats, solve_aig_qbf, solve_qbf
+from repro.qbf.qdpll import solve_qdpll
+
+
+from conftest import random_qbf  # shared with test_qdimacs
+
+
+class TestKnownQbfs:
+    def test_forall_exists_sat(self):
+        # forall x exists y: y == x
+        formula = Qbf.build([(FORALL, [1]), (EXISTS, [2])], [[-1, 2], [1, -2]])
+        assert solve_qbf(formula) is True
+        assert solve_qdpll(formula) is True
+
+    def test_exists_forall_unsat(self):
+        # exists y forall x: y == x
+        formula = Qbf.build([(EXISTS, [2]), (FORALL, [1])], [[-1, 2], [1, -2]])
+        assert solve_qbf(formula) is False
+        assert solve_qdpll(formula) is False
+
+    def test_pure_sat_block(self):
+        formula = Qbf.build([(EXISTS, [1, 2])], [[1, 2], [-1, 2]])
+        assert solve_qbf(formula) is True
+
+    def test_pure_universal_block_tautology(self):
+        formula = Qbf.build([(FORALL, [1, 2])], [[1, -1, 2]])
+        assert solve_qbf(formula) is True
+
+    def test_pure_universal_block_falsifiable(self):
+        formula = Qbf.build([(FORALL, [1, 2])], [[1, 2]])
+        assert solve_qbf(formula) is False
+
+    def test_three_level_alternation(self):
+        # forall x exists y forall z: (x xor y) | z ... y := !x fails on z=0;
+        # matrix (x|y|z)(!x|!y|z): y := !x satisfies both clauses for all z
+        formula = Qbf.build(
+            [(FORALL, [1]), (EXISTS, [2]), (FORALL, [3])],
+            [[1, 2, 3], [-1, -2, 3]],
+        )
+        expected = brute_force_qbf(formula)
+        assert solve_qbf(formula.copy()) == expected
+        assert solve_qdpll(formula.copy()) == expected
+
+
+class TestAgainstOracle:
+    @settings(max_examples=120, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_aigsolve_matches_brute_force(self, seed):
+        rng = random.Random(seed)
+        formula = random_qbf(rng)
+        expected = brute_force_qbf(formula)
+        assert solve_qbf(formula.copy()) == expected
+
+    @settings(max_examples=120, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_qdpll_matches_brute_force(self, seed):
+        rng = random.Random(seed)
+        formula = random_qbf(rng)
+        expected = brute_force_qbf(formula)
+        assert solve_qdpll(formula.copy()) == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_aigsolve_without_unit_pure(self, seed):
+        rng = random.Random(seed)
+        formula = random_qbf(rng)
+        expected = brute_force_qbf(formula)
+        from repro.aig.cnf_bridge import cnf_to_aig
+
+        aig, root = cnf_to_aig(formula.matrix.clauses)
+        prefix = BlockedPrefix(formula.prefix.blocks)
+        assert solve_aig_qbf(aig, root, prefix, use_unit_pure=False) == expected
+
+
+class TestStatsAndLimits:
+    def test_stats_counters(self):
+        formula = Qbf.build(
+            [(FORALL, [1]), (EXISTS, [2]), (FORALL, [3]), (EXISTS, [4])],
+            [[1, 2, 3, 4], [-1, -2, -3, 4], [2, -4, 1], [-2, 4, 3]],
+        )
+        from repro.aig.cnf_bridge import cnf_to_aig
+
+        stats = QbfSolverStats()
+        aig, root = cnf_to_aig(formula.matrix.clauses)
+        solve_aig_qbf(aig, root, BlockedPrefix(formula.prefix.blocks), stats=stats)
+        assert stats.sat_endgames + stats.quantifier_eliminations >= 1
+        assert isinstance(stats.as_dict(), dict)
+
+    def test_timeout_propagates(self):
+        rng = random.Random(5)
+        formula = random_qbf(rng, max_vars=6, max_clauses=12)
+        limits = Limits(time_limit=0.0)
+        import time
+
+        time.sleep(0.01)
+        with pytest.raises(TimeoutExceeded):
+            solve_qbf(formula, limits)
+
+    def test_open_formula_rejected(self):
+        formula = Qbf.build([(EXISTS, [1])], [[2]])
+        with pytest.raises(ValueError):
+            solve_qbf(formula)

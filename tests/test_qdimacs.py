@@ -1,0 +1,91 @@
+"""Tests for QDIMACS I/O and its interplay with DQBF linearization."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formula.prefix import EXISTS, FORALL
+from repro.formula.qbf import Qbf, brute_force_qbf
+from repro.formula.qdimacs import (
+    QdimacsError,
+    load_qdimacs,
+    parse_qdimacs,
+    save_qdimacs,
+    write_qdimacs,
+)
+
+EXAMPLE = """\
+c a small 2QBF
+p cnf 3 2
+a 1 0
+e 2 3 0
+-1 2 0
+1 3 0
+"""
+
+
+class TestParse:
+    def test_example(self):
+        formula = parse_qdimacs(EXAMPLE)
+        assert formula.prefix.blocks == [(FORALL, [1]), (EXISTS, [2, 3])]
+        assert len(formula.matrix) == 2
+
+    def test_adjacent_same_quantifier_blocks_merge(self):
+        text = "p cnf 2 1\ne 1 0\ne 2 0\n1 2 0\n"
+        formula = parse_qdimacs(text)
+        assert formula.prefix.blocks == [(EXISTS, [1, 2])]
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "e 1 0\np cnf 1 0\n",              # prefix before header
+            "p cnf 1 0\np cnf 1 0\n",           # duplicate header
+            "p cnf 2 1\ne 1 0\n1 0\ne 2 0\n",   # prefix after clauses
+            "p cnf 2 1\ne 5 0\n1 0\n",          # out of range
+            "p cnf 2 1\ne 1\n1 0\n",            # missing 0
+            "p cnf 2 1\ne 1 0\n7 0\n",          # literal out of range
+        ],
+    )
+    def test_malformed_rejected(self, text):
+        with pytest.raises(QdimacsError):
+            parse_qdimacs(text)
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_write_parse_round_trip(self, seed):
+        from conftest import random_qbf
+
+        rng = random.Random(seed)
+        formula = random_qbf(rng)
+        reparsed = parse_qdimacs(write_qdimacs(formula))
+        assert reparsed.prefix.blocks == formula.prefix.blocks
+        assert set(reparsed.matrix.clauses) == set(formula.matrix.clauses)
+        assert brute_force_qbf(reparsed) == brute_force_qbf(formula)
+
+    def test_file_round_trip(self, tmp_path):
+        formula = parse_qdimacs(EXAMPLE)
+        path = tmp_path / "f.qdimacs"
+        save_qdimacs(formula, str(path))
+        loaded = load_qdimacs(str(path))
+        assert loaded.prefix.blocks == formula.prefix.blocks
+
+
+class TestLinearizationExport:
+    def test_acyclic_dqbf_exports_as_qbf(self):
+        """The HQS hand-over artifact: linearize an acyclic DQBF, write
+        QDIMACS, re-parse, and check equivalence."""
+        from repro.core.depgraph import linearize
+        from repro.formula.dqbf import Dqbf, expansion_solve
+
+        formula = Dqbf.build(
+            [1, 2], [(3, [1]), (4, [1, 2])],
+            [[3, 1], [-3, 4], [4, -2, -1]],
+        )
+        blocked = linearize(formula.prefix)
+        qbf = Qbf(blocked, formula.matrix.copy())
+        reparsed = parse_qdimacs(write_qdimacs(qbf))
+        assert brute_force_qbf(reparsed) == expansion_solve(formula)

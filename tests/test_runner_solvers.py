@@ -1,0 +1,45 @@
+"""Tests for the experiment runner's solver registry."""
+
+import pytest
+
+from repro.core.result import SAT, UNSAT
+from repro.experiments.runner import BenchConfig, SOLVERS, run_solver
+from repro.pec.families import make_bitcell, make_pec_xor
+
+
+@pytest.fixture(scope="module")
+def sat_instance():
+    return make_pec_xor(4, 1, buggy=False, seed=61)
+
+
+@pytest.fixture(scope="module")
+def unsat_instance():
+    return make_bitcell(4, 1, buggy=True, seed=62)
+
+
+def small_config():
+    return BenchConfig(scale=1.0, count=1, timeout=20.0, node_limit=200000)
+
+
+class TestSolverRegistry:
+    def test_expected_solvers_registered(self):
+        assert {"HQS", "HQS_PROBE", "IDQ", "EXPANSION", "BDD", "DPLL"} <= set(SOLVERS)
+
+    @pytest.mark.parametrize("name", ["HQS", "HQS_PROBE", "EXPANSION", "BDD"])
+    def test_each_solver_on_unsat(self, name, unsat_instance):
+        record = run_solver(name, unsat_instance, small_config())
+        assert record.result.status in (UNSAT, "TIMEOUT", "MEMOUT")
+
+    @pytest.mark.parametrize("name", ["HQS", "HQS_PROBE", "EXPANSION", "BDD"])
+    def test_each_solver_on_sat(self, name, sat_instance):
+        record = run_solver(name, sat_instance, small_config())
+        assert record.result.status in (SAT, "TIMEOUT", "MEMOUT")
+
+    def test_dpll_on_tiny_instance(self):
+        instance = make_pec_xor(4, 1, buggy=False, seed=63)
+        record = run_solver("DPLL", instance, small_config())
+        assert record.result.status in (SAT, "TIMEOUT")
+
+    def test_idq_on_unsat(self, unsat_instance):
+        record = run_solver("IDQ", unsat_instance, small_config())
+        assert record.result.status in (UNSAT, "TIMEOUT")

@@ -1,0 +1,159 @@
+"""Tests for the CDCL SAT solver (against the DPLL oracle and by hand)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.sat.simple import dpll_solve
+from repro.sat.solver import SAT, UNKNOWN, UNSAT, CdclSolver, _luby, solve_cnf
+
+from conftest import cnf_strategy
+
+
+def php_clauses(holes: int):
+    """Pigeonhole principle with holes+1 pigeons (classically UNSAT)."""
+    pigeons = holes + 1
+
+    def var(p, h):
+        return p * holes + h + 1
+
+    clauses = [[var(p, h) for h in range(holes)] for p in range(pigeons)]
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append([-var(p1, h), -var(p2, h)])
+    return clauses
+
+
+class TestBasics:
+    def test_empty_formula_is_sat(self):
+        assert solve_cnf([])[0] == SAT
+
+    def test_single_unit(self):
+        status, model = solve_cnf([[4]])
+        assert status == SAT
+        assert model[4] is True
+
+    def test_conflicting_units(self):
+        assert solve_cnf([[1], [-1]])[0] == UNSAT
+
+    def test_empty_clause_rejected(self):
+        solver = CdclSolver()
+        assert solver.add_clause([]) is False
+        assert solver.solve() == UNSAT
+
+    def test_tautological_clause_ignored(self):
+        solver = CdclSolver()
+        solver.add_clause([1, -1])
+        assert solver.solve() == SAT
+
+    def test_duplicate_literals_collapse(self):
+        status, model = solve_cnf([[2, 2, 2]])
+        assert status == SAT and model[2]
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(ValueError):
+            CdclSolver().add_clause([1, 0])
+
+    def test_model_satisfies_formula(self):
+        clauses = [[1, 2, 3], [-1, -2], [-2, -3], [2, 3]]
+        status, model = solve_cnf(clauses)
+        assert status == SAT
+        for clause in clauses:
+            assert any((lit > 0) == model[abs(lit)] for lit in clause)
+
+
+class TestVersusOracle:
+    @settings(max_examples=200, deadline=None)
+    @given(cnf_strategy(max_vars=10, max_clauses=45))
+    def test_agrees_with_dpll(self, clauses):
+        status, model = solve_cnf(clauses)
+        oracle = dpll_solve(clauses)
+        assert status == (SAT if oracle is not None else UNSAT)
+        if status == SAT:
+            for clause in clauses:
+                assert any((lit > 0) == model[abs(lit)] for lit in clause)
+
+
+class TestLearning:
+    def test_pigeonhole_unsat(self):
+        assert solve_cnf(php_clauses(5))[0] == UNSAT
+
+    def test_statistics_populated(self):
+        solver = CdclSolver()
+        solver.add_clauses(php_clauses(4))
+        solver.solve()
+        stats = solver.statistics
+        assert stats["conflicts"] > 0
+        assert stats["decisions"] > 0
+
+    def test_conflict_limit_returns_unknown(self):
+        solver = CdclSolver()
+        solver.add_clauses(php_clauses(7))
+        assert solver.solve(conflict_limit=5) in (UNKNOWN, UNSAT)
+
+    def test_deadline_returns_unknown(self):
+        import time
+
+        solver = CdclSolver()
+        solver.add_clauses(php_clauses(9))
+        status = solver.solve(deadline=time.monotonic() + 0.05)
+        assert status in (UNKNOWN, UNSAT)
+
+
+class TestAssumptions:
+    def test_assumption_forces_branch(self):
+        solver = CdclSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve([-1]) == SAT
+        assert solver.model()[2] is True
+
+    def test_unsat_under_assumptions_recoverable(self):
+        solver = CdclSolver()
+        solver.add_clauses([[1, 2], [-1, 2]])
+        assert solver.solve([-2]) == UNSAT
+        assert solver.solve([2]) == SAT
+        assert solver.solve() == SAT
+
+    def test_failed_assumptions_form_core(self):
+        solver = CdclSolver()
+        solver.add_clauses([[-1, -2], [3]])
+        assert solver.solve([1, 2]) == UNSAT
+        core = set(solver.failed_assumptions())
+        assert core <= {1, 2}
+        assert core  # non-empty
+
+    def test_core_is_unsat_with_clauses(self, rng):
+        from conftest import random_clauses
+
+        for _ in range(60):
+            clauses = random_clauses(rng, 8, rng.randint(3, 30))
+            assumptions = []
+            seen = set()
+            for _ in range(rng.randint(1, 4)):
+                v = rng.randint(1, 8)
+                if v not in seen:
+                    seen.add(v)
+                    assumptions.append(rng.choice([v, -v]))
+            solver = CdclSolver()
+            solver.add_clauses(clauses)
+            if solver.solve(assumptions) == UNSAT and solver._ok:
+                core = solver.failed_assumptions()
+                assert set(core) <= set(assumptions)
+                assert dpll_solve(clauses + [[a] for a in core]) is None
+
+    def test_incremental_clause_addition(self):
+        solver = CdclSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve() == SAT
+        solver.add_clause([-1])
+        assert solver.solve() == SAT
+        assert solver.model()[2] is True
+        solver.add_clause([-2])
+        assert solver.solve() == UNSAT
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [_luby(i) for i in range(15)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]

@@ -1,0 +1,97 @@
+"""Tests for the MaxSAT-based minimum elimination set (Eqs. 1-2)."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.depgraph import incomparable_pairs, is_acyclic
+from repro.core.selection import order_by_copy_cost, select_elimination_set
+from repro.formula.prefix import DependencyPrefix
+
+
+def prefix_of(universals, existentials) -> DependencyPrefix:
+    prefix = DependencyPrefix()
+    for x in universals:
+        prefix.add_universal(x)
+    for y, deps in existentials:
+        prefix.add_existential(y, deps)
+    return prefix
+
+
+def eliminate_all(prefix: DependencyPrefix, variables) -> DependencyPrefix:
+    reduced = prefix.copy()
+    for x in variables:
+        reduced.remove_universal(x)
+    return reduced
+
+
+def brute_force_minimum(prefix: DependencyPrefix) -> int:
+    """Smallest universal subset whose removal makes the prefix acyclic."""
+    universals = prefix.universals
+    for size in range(len(universals) + 1):
+        for subset in itertools.combinations(universals, size):
+            if is_acyclic(eliminate_all(prefix, subset)):
+                return size
+    raise AssertionError("removing all universals always yields acyclic")
+
+
+class TestSelection:
+    def test_acyclic_prefix_needs_nothing(self):
+        prefix = prefix_of([1, 2], [(3, [1]), (4, [1, 2])])
+        result = select_elimination_set(prefix)
+        assert result.variables == []
+        assert result.num_pairs == 0
+
+    def test_example_1_needs_one_variable(self):
+        prefix = prefix_of([1, 2], [(3, [1]), (4, [2])])
+        result = select_elimination_set(prefix)
+        assert len(result.variables) == 1
+        assert result.variables[0] in (1, 2)
+        assert result.num_pairs == 1
+
+    def test_elimination_makes_acyclic(self):
+        prefix = prefix_of(
+            [1, 2, 3],
+            [(4, [1, 2]), (5, [2, 3]), (6, [1, 3])],
+        )
+        result = select_elimination_set(prefix)
+        assert is_acyclic(eliminate_all(prefix, result.variables))
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.data())
+    def test_minimality_and_sufficiency(self, data):
+        nu = data.draw(st.integers(1, 4))
+        ne = data.draw(st.integers(1, 4))
+        universals = list(range(1, nu + 1))
+        existentials = []
+        for i in range(ne):
+            deps = data.draw(
+                st.lists(st.sampled_from(universals), unique=True, max_size=nu)
+            )
+            existentials.append((nu + 1 + i, deps))
+        prefix = prefix_of(universals, existentials)
+        result = select_elimination_set(prefix)
+        # sufficiency: removing the set breaks every cycle
+        assert is_acyclic(eliminate_all(prefix, result.variables))
+        # minimality: matches brute force optimum
+        assert len(result.variables) == brute_force_minimum(prefix)
+
+    def test_maxsat_time_recorded(self):
+        prefix = prefix_of([1, 2], [(3, [1]), (4, [2])])
+        result = select_elimination_set(prefix)
+        assert result.maxsat_time >= 0.0
+
+
+class TestCopyCostOrdering:
+    def test_orders_by_dependent_count(self):
+        prefix = prefix_of(
+            [1, 2],
+            [(3, [1]), (4, [1]), (5, [2])],
+        )
+        ordered = order_by_copy_cost(prefix, [1, 2])
+        assert ordered == [2, 1]  # x2 has 1 dependent, x1 has 2
+
+    def test_ties_break_by_variable(self):
+        prefix = prefix_of([1, 2], [(3, [1]), (4, [2])])
+        assert order_by_copy_cost(prefix, [2, 1]) == [1, 2]

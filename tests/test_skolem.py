@@ -1,0 +1,131 @@
+"""Tests for Skolem certificates: tables, verification, extraction."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.result import SAT, UNSAT
+from repro.core.skolem import SkolemTable, extract_certificate, verify_skolem
+from repro.formula.dqbf import Dqbf, expansion_solve
+
+from conftest import dqbf_strategy
+
+
+def identity_pair() -> Dqbf:
+    return Dqbf.build(
+        [1, 2], [(3, [1]), (4, [2])],
+        [[-3, 1], [3, -1], [-4, 2], [4, -2]],
+    )
+
+
+class TestSkolemTable:
+    def test_evaluate_with_default(self):
+        table = SkolemTable(3, [1, 2], {(True, False): True})
+        assert table.evaluate({1: True, 2: False})
+        assert not table.evaluate({1: False, 2: False})  # default False
+
+    def test_default_true(self):
+        table = SkolemTable(3, [1], default=True)
+        assert table.evaluate({1: False})
+
+    def test_deps_sorted(self):
+        table = SkolemTable(3, [5, 2])
+        assert table.deps == [2, 5]
+
+    def test_as_full_table(self):
+        table = SkolemTable(3, [1], {(True,): True})
+        full = table.as_full_table()
+        assert full == {(False,): False, (True,): True}
+
+    def test_to_aig_matches_evaluate(self):
+        import itertools
+
+        from repro.aig.graph import Aig, FALSE, TRUE
+
+        table = SkolemTable(7, [1, 2], {(True, True): True, (False, True): True})
+        aig = Aig()
+        edge = table.to_aig(aig)
+        for v1, v2 in itertools.product([False, True], repeat=2):
+            expected = table.evaluate({1: v1, 2: v2})
+            got = edge == TRUE if edge in (TRUE, FALSE) else aig.evaluate(
+                edge, {1: v1, 2: v2}
+            )
+            assert got == expected
+
+    def test_to_aig_default_true(self):
+        from repro.aig.graph import Aig, TRUE
+
+        table = SkolemTable(7, [1], {(True,): False}, default=True)
+        aig = Aig()
+        edge = table.to_aig(aig)
+        assert aig.evaluate(edge, {1: False})
+        assert not aig.evaluate(edge, {1: True})
+
+    def test_constant_function(self):
+        from repro.aig.graph import Aig, FALSE
+
+        table = SkolemTable(7, [])
+        aig = Aig()
+        assert table.to_aig(aig) == FALSE
+
+
+class TestVerify:
+    def test_valid_certificate(self):
+        tables = {
+            3: SkolemTable(3, [1], {(True,): True}),
+            4: SkolemTable(4, [2], {(True,): True}),
+        }
+        assert verify_skolem(identity_pair(), tables)
+
+    def test_invalid_certificate(self):
+        tables = {
+            3: SkolemTable(3, [1]),  # constant False cannot track x1
+            4: SkolemTable(4, [2], {(True,): True}),
+        }
+        assert not verify_skolem(identity_pair(), tables)
+
+    def test_missing_variable_rejected(self):
+        with pytest.raises(ValueError):
+            verify_skolem(identity_pair(), {3: SkolemTable(3, [1])})
+
+    def test_dependency_violation_rejected(self):
+        tables = {
+            3: SkolemTable(3, [2], {(True,): True}),  # reads x2, allowed {x1}
+            4: SkolemTable(4, [2], {(True,): True}),
+        }
+        with pytest.raises(ValueError):
+            verify_skolem(identity_pair(), tables)
+
+    def test_subset_dependency_allowed(self):
+        """A Skolem function may read fewer variables than declared."""
+        formula = Dqbf.build([1, 2], [(3, [1, 2])], [[3, 1]])
+        tables = {3: SkolemTable(3, [], default=True)}
+        assert verify_skolem(formula, tables)
+
+
+class TestExtraction:
+    def test_sat_instance_yields_verified_certificate(self):
+        result, tables = extract_certificate(identity_pair())
+        assert result.status == SAT
+        assert tables is not None
+        assert verify_skolem(identity_pair(), tables)
+
+    def test_unsat_instance_yields_none(self):
+        formula = Dqbf.build([1, 2], [(3, [1])], [[-3, 2], [3, -2]])
+        result, tables = extract_certificate(formula)
+        assert result.status == UNSAT
+        assert tables is None
+
+    def test_empty_matrix_certificate(self):
+        formula = Dqbf.build([1], [(2, [1])], [])
+        result, tables = extract_certificate(formula)
+        assert result.status == SAT
+        assert set(tables) == {2}
+
+    @settings(max_examples=60, deadline=None)
+    @given(dqbf_strategy(max_universals=3, max_existentials=2, max_clauses=6))
+    def test_random_instances(self, formula):
+        expected = expansion_solve(formula)
+        result, tables = extract_certificate(formula.copy())
+        assert (result.status == SAT) == expected
+        if tables is not None:
+            assert verify_skolem(formula, tables)

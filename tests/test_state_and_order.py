@@ -1,0 +1,105 @@
+"""Tests for the AIG-backed state and the elimination-order heuristics."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.aig.cnf_bridge import cnf_to_aig
+from repro.core.elimination import universal_growth_estimate
+from repro.core.hqs import HqsOptions, solve_dqbf
+from repro.core.state import AigDqbf
+from repro.formula.dqbf import Dqbf, expansion_solve
+
+from conftest import dqbf_strategy
+from test_elimination import state_of
+
+
+class TestAigDqbf:
+    def test_fresh_var_monotone(self):
+        state = state_of(Dqbf.build([1], [(2, [1])], [[1, 2]]))
+        first = state.fresh_var()
+        second = state.fresh_var()
+        assert second == first + 1
+
+    def test_support_and_prune(self):
+        formula = Dqbf.build([1, 2], [(3, [1]), (4, [2])], [[1, 3]])
+        state = state_of(formula)
+        assert state.support() == {1, 3}
+        state.prune_prefix()
+        assert state.prefix.universals == [1]
+        assert state.prefix.existentials == [3]
+
+    def test_is_constant(self):
+        state = state_of(Dqbf.build([1], [(2, [1])], []))
+        assert state.is_constant() is True
+        state = state_of(Dqbf.build([1], [(2, [1])], [[]]))
+        assert state.is_constant() is False
+        state = state_of(Dqbf.build([1], [(2, [1])], [[1, 2]]))
+        assert state.is_constant() is None
+
+    def test_compact_preserves_function(self):
+        formula = Dqbf.build([1, 2], [(3, [1, 2])], [[1, 3], [-2, 3]])
+        state = state_of(formula)
+        # create garbage
+        state.aig.land(state.aig.var(9), state.aig.var(10))
+        before = state.aig.num_nodes
+        state.compact()
+        assert state.aig.num_nodes < before
+        assert state.evaluate({1: True, 2: False, 3: True})
+        assert not state.evaluate({1: False, 2: True, 3: False})
+
+    def test_matrix_size_constant_is_zero(self):
+        state = state_of(Dqbf.build([1], [(2, [1])], []))
+        assert state.matrix_size() == 0
+
+
+class TestGrowthEstimate:
+    def test_counts_dependent_and_nodes(self):
+        # matrix: (x1 & y) | (x2 & z): two AND nodes depend on x1's side
+        formula = Dqbf.build(
+            [1, 2], [(3, [1]), (4, [2])], [[1], [3], [2, 4]]
+        )
+        state = state_of(formula)
+        estimate = universal_growth_estimate(state, 2)
+        assert estimate >= 1
+        # variable not in the cone costs nothing
+        formula2 = Dqbf.build([1, 2], [(3, [1])], [[1, 3]])
+        state2 = state_of(formula2)
+        assert universal_growth_estimate(state2, 2) == 0
+
+    def test_constant_matrix(self):
+        state = state_of(Dqbf.build([1], [(2, [1])], []))
+        assert universal_growth_estimate(state, 1) == 0
+
+
+class TestEliminationOrderOption:
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            HqsOptions(elimination_order="alphabetical")
+
+    @settings(max_examples=60, deadline=None)
+    @given(dqbf_strategy(max_universals=3, max_existentials=3, max_clauses=8))
+    def test_growth_order_agrees_with_oracle(self, formula):
+        expected = "SAT" if expansion_solve(formula) else "UNSAT"
+        result = solve_dqbf(
+            formula.copy(), options=HqsOptions(elimination_order="growth")
+        )
+        assert result.status == expected
+
+
+class TestAsciiScatter:
+    def test_renders_marks(self):
+        from repro.experiments.fig4 import ScatterPoint, ascii_scatter
+
+        points = [
+            ScatterPoint("a", "adder", 0.01, 1.0, "SAT", "SAT"),
+            ScatterPoint("b", "adder", 0.02, 5.0, "UNSAT", "TIMEOUT"),
+            ScatterPoint("c", "adder", 5.0, 0.01, "TIMEOUT", "UNSAT"),
+        ]
+        art = ascii_scatter(points)
+        assert "*" in art and ">" in art and "<" in art
+        assert "diagonal" in art
+
+    def test_empty_points(self):
+        from repro.experiments.fig4 import ascii_scatter
+
+        assert ascii_scatter([]) == "(no points)"

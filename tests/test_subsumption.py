@@ -1,0 +1,67 @@
+"""Tests for subsumption and self-subsuming resolution in preprocessing."""
+
+from hypothesis import given, settings
+
+from repro.core.preprocess import preprocess
+from repro.formula.dqbf import Dqbf, expansion_solve
+
+from conftest import dqbf_strategy
+
+
+class TestSubsumption:
+    def test_superset_clause_removed(self):
+        formula = Dqbf.build(
+            [1], [(2, [1]), (3, [1])],
+            [[2, 3], [2, 3, 1], [2, -3]],
+        )
+        result = preprocess(formula, detect_gates=False)
+        assert result.stats.clauses_subsumed >= 1
+        if result.status is None:
+            assert (1, 2, 3) not in result.formula.matrix
+
+    def test_duplicate_free_no_change(self):
+        formula = Dqbf.build(
+            [1], [(2, [1]), (3, [1])],
+            [[2, 3], [-2, -3]],
+        )
+        result = preprocess(formula, detect_gates=False)
+        assert result.stats.clauses_subsumed == 0
+
+    def test_self_subsuming_resolution_strengthens(self):
+        # (a | b | c) and (!a | b): resolving on a gives (b | c), which
+        # self-subsumes the first clause to (b | c)
+        formula = Dqbf.build(
+            [1], [(2, [1]), (3, [1]), (4, [1])],
+            [[2, 3, 4], [-2, 3]],
+        )
+        result = preprocess(formula, detect_gates=False, use_subsumption=True)
+        assert result.stats.literals_strengthened >= 1
+
+    def test_strengthening_to_unit_propagates(self):
+        # (a | b) and (!a | b) strengthen to (b), which then propagates
+        formula = Dqbf.build(
+            [1], [(2, [1]), (3, [1])],
+            [[2, 3], [-2, 3], [-3, 1], [-3, -1]],
+        )
+        result = preprocess(formula, detect_gates=False)
+        # b forced, then (1) and (-1) conflict on the universal: UNSAT
+        assert result.status is False
+
+    def test_disabled_flag(self):
+        formula = Dqbf.build(
+            [1], [(2, [1]), (3, [1])],
+            [[2, 3], [2, 3, 1]],
+        )
+        result = preprocess(formula, detect_gates=False, use_subsumption=False)
+        assert result.stats.clauses_subsumed == 0
+        assert result.stats.literals_strengthened == 0
+
+    @settings(max_examples=100, deadline=None)
+    @given(dqbf_strategy(max_universals=3, max_existentials=3, max_clauses=10))
+    def test_equisatisfiability_preserved(self, formula):
+        expected = expansion_solve(formula)
+        result = preprocess(formula, detect_gates=False, use_subsumption=True)
+        if result.status is not None:
+            assert result.status == expected
+        else:
+            assert expansion_solve(result.formula, limit=1 << 18) == expected

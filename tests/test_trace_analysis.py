@@ -1,0 +1,98 @@
+"""Tests for solver tracing and prefix difficulty analysis."""
+
+import pytest
+
+from repro.core import HqsOptions, HqsSolver, analyze_prefix
+from repro.core.depgraph import PrefixAnalysis
+from repro.formula.dqbf import Dqbf
+from repro.formula.prefix import DependencyPrefix
+
+
+def henkin_formula() -> Dqbf:
+    return Dqbf.build(
+        [1, 2], [(3, [1]), (4, [2])],
+        [[3, 4, 1], [-3, -4, 2], [3, -4, -1], [-3, 4, -2]],
+    )
+
+
+class TestTrace:
+    def test_trace_records_pipeline(self):
+        solver = HqsSolver(trace=True)
+        result = solver.solve(henkin_formula())
+        assert result.solved
+        text = "\n".join(solver.trace)
+        assert "matrix AIG built" in text
+        assert "MaxSAT selection" in text
+        assert "Theorem 1" in text
+
+    def test_trace_off_by_default(self):
+        solver = HqsSolver()
+        solver.solve(henkin_formula())
+        assert solver.trace == []
+
+    def test_trace_records_preprocessing_decision(self):
+        formula = Dqbf.build([1], [(2, [1])], [[2], [-2]])
+        solver = HqsSolver(trace=True)
+        result = solver.solve(formula)
+        assert result.status == "UNSAT"
+        assert any("preprocessing decided" in line for line in solver.trace)
+
+    def test_trace_records_probe(self):
+        formula = Dqbf.build([1], [(2, [1])], [[2, 1], [-2, 1]])
+        solver = HqsSolver(HqsOptions(use_sat_probe=True, use_preprocessing=False), trace=True)
+        result = solver.solve(formula)
+        assert result.status == "UNSAT"
+        assert any("SAT probe" in line for line in solver.trace)
+
+    def test_cli_verbose(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.formula.dqdimacs import save_dqdimacs
+
+        path = tmp_path / "f.dqdimacs"
+        save_dqdimacs(henkin_formula(), str(path))
+        main(["--verbose", str(path)])
+        out = capsys.readouterr().out
+        assert "c matrix AIG built" in out
+
+
+class TestPrefixAnalysis:
+    def test_qbf_shaped_prefix(self):
+        prefix = DependencyPrefix()
+        prefix.add_universal(1)
+        prefix.add_universal(2)
+        prefix.add_existential(3, [1])
+        prefix.add_existential(4, [1, 2])
+        analysis = analyze_prefix(prefix)
+        assert analysis.is_qbf
+        assert analysis.num_incomparable_pairs == 0
+        assert analysis.min_elimination_set == 0
+        assert analysis.max_dependency_size == 2
+        assert analysis.distinct_dependency_sets == 2
+
+    def test_henkin_prefix(self):
+        analysis = analyze_prefix(henkin_formula().prefix)
+        assert not analysis.is_qbf
+        assert analysis.num_incomparable_pairs == 1
+        assert analysis.min_elimination_set == 1
+
+    def test_as_dict_round_trip(self):
+        analysis = analyze_prefix(henkin_formula().prefix)
+        data = analysis.as_dict()
+        assert data["num_universals"] == 2
+        assert data["num_existentials"] == 2
+        assert isinstance(repr(analysis), str)
+
+    def test_empty_prefix(self):
+        analysis = analyze_prefix(DependencyPrefix())
+        assert analysis.is_qbf
+        assert analysis.max_dependency_size == 0
+
+    def test_cli_analyze(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.formula.dqdimacs import save_dqdimacs
+
+        path = tmp_path / "f.dqdimacs"
+        save_dqdimacs(henkin_formula(), str(path))
+        main(["--analyze", str(path)])
+        out = capsys.readouterr().out
+        assert "c num_incomparable_pairs = 1" in out

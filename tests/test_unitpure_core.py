@@ -1,0 +1,69 @@
+"""Tests for Theorem 5 application (unit/pure elimination on the state)."""
+
+from hypothesis import given, settings
+
+from repro.aig.cnf_bridge import cnf_to_aig
+from repro.core.state import AigDqbf
+from repro.core.unitpure import UnitPureStats, apply_unit_pure
+from repro.formula.dqbf import Dqbf, expansion_solve
+
+from conftest import dqbf_strategy
+from test_elimination import state_of, state_truth
+
+
+class TestRules:
+    def test_existential_unit_assigned(self):
+        formula = Dqbf.build([1], [(2, [1])], [[2], [-2, 1]])
+        state = state_of(formula)
+        decided = apply_unit_pure(state)
+        # y := 1 leaves clause (x1): universal unit -> UNSAT overall
+        assert decided is False
+
+    def test_universal_unit_unsat(self):
+        formula = Dqbf.build([1], [(2, [1])], [[1], [2, -1]])
+        state = state_of(formula)
+        assert apply_unit_pure(state) is False
+
+    def test_existential_pure_assigned(self):
+        formula = Dqbf.build([1], [(2, [1])], [[2, 1], [2, -1]])
+        state = state_of(formula)
+        decided = apply_unit_pure(state)
+        # y positive pure -> y := 1 satisfies everything
+        assert decided is True
+
+    def test_universal_pure_adverse_value(self):
+        # x occurs only positively: set x := 0 (the adverse value)
+        formula = Dqbf.build([1, 2], [(3, [1, 2])], [[1, 3], [2, 3]])
+        state = state_of(formula)
+        stats = UnitPureStats()
+        decided = apply_unit_pure(state, stats)
+        # x1 := 0 and x2 := 0 force y unit -> SAT via y := 1
+        assert decided is True
+        assert stats.pures_eliminated + stats.units_eliminated >= 1
+
+    def test_no_change_returns_none(self):
+        formula = Dqbf.build([1], [(2, [1])], [[-2, 1], [2, -1]])
+        state = state_of(formula)
+        assert apply_unit_pure(state) is None
+
+    def test_stats_counters(self):
+        formula = Dqbf.build([1], [(2, []), (3, [])], [[2], [3, 1], [3, -1]])
+        state = state_of(formula)
+        stats = UnitPureStats()
+        apply_unit_pure(state, stats)
+        assert stats.rounds >= 1
+        assert stats.units_eliminated >= 1
+
+
+class TestSoundness:
+    @settings(max_examples=120, deadline=None)
+    @given(dqbf_strategy(max_universals=3, max_existentials=3, max_clauses=8))
+    def test_preserves_truth(self, formula):
+        expected = expansion_solve(formula)
+        state = state_of(formula)
+        decided = apply_unit_pure(state)
+        if decided is not None:
+            assert decided == expected
+        else:
+            state.prune_prefix()
+            assert state_truth(state) == expected
