@@ -14,10 +14,8 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.hqs import HqsOptions, HqsSolver
-from repro.core.result import Limits
 from repro.pec.families import generate_family
 
 POOL_FAMILIES = ("adder", "lookahead", "pec_xor")

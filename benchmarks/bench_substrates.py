@@ -11,7 +11,6 @@ import random
 
 from repro.aig.cnf_bridge import cnf_to_aig
 from repro.aig.fraig import fraig_root
-from repro.aig.graph import Aig
 from repro.aig.unitpure import detect_unit_pure
 from repro.maxsat.solver import solve_partial_maxsat
 from repro.sat.solver import UNSAT, solve_cnf

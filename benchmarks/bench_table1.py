@@ -15,8 +15,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.hqs import HqsSolver
-from repro.baselines.idq import IdqSolver
 from repro.experiments.runner import generate_suite, run_solver
 from repro.experiments.table1 import build_table, format_table
 from repro.pec.families import FAMILIES

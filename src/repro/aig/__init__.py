@@ -7,6 +7,7 @@ from .graph import (
     FALSE,
     TRUE,
     Aig,
+    KernelCounters,
     complement,
     edge_of,
     is_complemented,
@@ -21,6 +22,7 @@ __all__ = [
     "save_aiger",
     "write_aiger",
     "Aig",
+    "KernelCounters",
     "FALSE",
     "TRUE",
     "complement",

@@ -12,7 +12,7 @@ table provides ``i<pos> <number>`` entries with numeric names.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from .graph import FALSE, TRUE, Aig, complement, is_complemented, node_of
 

@@ -12,7 +12,7 @@ on an AIG is needed (FRAIG sweeping, QBF endgame, constant checks).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..formula.cnf import Cnf
 from .graph import Aig, FALSE, TRUE, is_complemented, node_of

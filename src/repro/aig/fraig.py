@@ -17,7 +17,7 @@ matrix AIG small (Section II-C).
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..sat.solver import SAT, UNSAT, CdclSolver
 from .cnf_bridge import aig_to_cnf

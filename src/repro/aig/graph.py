@@ -12,6 +12,22 @@ Structural hashing guarantees that no two AND nodes have the same
 construction.  All heavy operations (cofactor, compose, quantification)
 are implemented as iterative rebuilds, so Python's recursion limit is
 never an issue even for deep graphs.
+
+Two layers sit on top of the plain rebuild machinery:
+
+* a **fused kernel** (:meth:`Aig.restrict`, :meth:`Aig.cofactor2`,
+  :meth:`Aig.eliminate_universal_fused`) that performs constant
+  substitution, double cofactoring and Theorem-1 elimination in a
+  *single* cone traversal, sharing (rather than rebuilding) every node
+  whose cone does not touch the substituted variables;
+* a **generation-stamped per-node cache** of structural support sets
+  and levels.  Nodes are append-only and fanins immutable, so a cache
+  entry stays valid for the lifetime of the manager; ``extract``
+  (compaction) starts a fresh manager whose caches are empty and whose
+  ``cache_generation`` is bumped, which is the only invalidation event.
+
+All kernel passes account their work in :class:`KernelCounters`, shared
+across compactions, so callers can compare rebuild strategies.
 """
 
 from __future__ import annotations
@@ -20,6 +36,48 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tupl
 
 FALSE = 0
 TRUE = 1
+
+_EMPTY_SUPPORT: frozenset = frozenset()
+
+
+class KernelCounters:
+    """Work counters for the AIG kernel (shared across ``extract`` calls).
+
+    ``nodes_visited`` counts every node processed by a rebuild-style
+    pass (``rebuild``, ``restrict``, ``cofactor2``, fused elimination);
+    ``nodes_shared`` counts nodes a fused pass reused verbatim instead
+    of rebuilding.  Support-cache fills are cheap set operations, not
+    rebuild work, and are accounted separately as
+    ``support_cache_misses``.  The strash and cache counters feed the
+    hit-rate statistics exported by the solvers.
+    """
+
+    _FIELDS = (
+        "rebuild_passes",
+        "fused_passes",
+        "nodes_visited",
+        "nodes_shared",
+        "strash_lookups",
+        "strash_hits",
+        "support_cache_hits",
+        "support_cache_misses",
+        "unitpure_cache_hits",
+        "unitpure_cache_misses",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        for name in self._FIELDS:
+            setattr(self, name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self._FIELDS}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"KernelCounters({inner})"
 
 
 def edge_of(node: int, complemented: bool = False) -> int:
@@ -50,6 +108,15 @@ class Aig:
         self._input_label: List[int] = [0]  # external var for inputs, 0 otherwise
         self._input_node: Dict[int, int] = {}
         self._strash: Dict[Tuple[int, int], int] = {}
+        self.counters = KernelCounters()
+        # Per-node metadata caches.  Entries never go stale within one
+        # manager (nodes are append-only with immutable fanins); the
+        # generation stamp identifies which manager incarnation an
+        # externally held value belongs to.
+        self.cache_generation = 0
+        self._support: Dict[int, frozenset] = {0: _EMPTY_SUPPORT}
+        self._level: Dict[int, int] = {0: 0}
+        self._unitpure_cache: Dict[int, object] = {}
 
     # ------------------------------------------------------------------
     # node construction
@@ -80,10 +147,14 @@ class Aig:
         if a > b:
             a, b = b, a
         key = (a, b)
+        counters = self.counters
+        counters.strash_lookups += 1
         node = self._strash.get(key)
         if node is None:
             node = self._new_node(a, b, 0)
             self._strash[key] = node
+        else:
+            counters.strash_hits += 1
         return edge_of(node)
 
     def lor(self, a: int, b: int) -> int:
@@ -174,10 +245,103 @@ class Aig:
         return sum(1 for n in self.cone_nodes(root) if self.is_and(n))
 
     def support(self, root: int) -> Set[int]:
-        """External variables the function of ``root`` structurally depends on."""
-        return {
-            self._input_label[n] for n in self.cone_nodes(root) if self.is_input(n)
-        }
+        """External variables the function of ``root`` structurally depends on.
+
+        Returns a fresh mutable set; use :meth:`support_of` on hot paths
+        to share the cached frozenset instead.
+        """
+        return set(self.support_of(root))
+
+    # ------------------------------------------------------------------
+    # per-node metadata cache (support sets, levels)
+    # ------------------------------------------------------------------
+    def support_of(self, root: int) -> frozenset:
+        """Cached structural support of ``root`` as a shared frozenset.
+
+        The result is memoized per node; computing it for a cone fills
+        the cache bottom-up for every node of that cone, so subsequent
+        queries anywhere inside the cone are O(1).  When an AND node's
+        support equals one of its fanin supports the frozenset object is
+        shared, keeping the cache memory-linear in practice.
+        """
+        node = root >> 1
+        cached = self._support.get(node)
+        if cached is not None:
+            self.counters.support_cache_hits += 1
+            return cached
+        support = self._support
+        counters = self.counters
+        stack = [node]
+        while stack:
+            top = stack[-1]
+            if top in support:
+                stack.pop()
+                continue
+            if self._fanin0[top] == self._NO_FANIN:  # input node
+                support[top] = frozenset((self._input_label[top],))
+                counters.support_cache_misses += 1
+                stack.pop()
+                continue
+            f0, f1 = self._fanin0[top] >> 1, self._fanin1[top] >> 1
+            s0 = support.get(f0)
+            s1 = support.get(f1)
+            if s0 is None or s1 is None:
+                if s0 is None:
+                    stack.append(f0)
+                if s1 is None:
+                    stack.append(f1)
+                continue
+            if s1 <= s0:
+                support[top] = s0
+            elif s0 <= s1:
+                support[top] = s1
+            else:
+                support[top] = s0 | s1
+            counters.support_cache_misses += 1
+            stack.pop()
+        return support[node]
+
+    def level_of(self, root: int) -> int:
+        """Cached level (longest AND path to an input) of ``root``."""
+        node = root >> 1
+        cached = self._level.get(node)
+        if cached is not None:
+            return cached
+        level = self._level
+        stack = [node]
+        while stack:
+            top = stack[-1]
+            if top in level:
+                stack.pop()
+                continue
+            if self._fanin0[top] == self._NO_FANIN:
+                level[top] = 0
+                stack.pop()
+                continue
+            f0, f1 = self._fanin0[top] >> 1, self._fanin1[top] >> 1
+            l0 = level.get(f0)
+            l1 = level.get(f1)
+            if l0 is None or l1 is None:
+                if l0 is None:
+                    stack.append(f0)
+                if l1 is None:
+                    stack.append(f1)
+                continue
+            level[top] = 1 + (l0 if l0 >= l1 else l1)
+            stack.pop()
+        return level[node]
+
+    def invalidate_caches(self) -> None:
+        """Drop all per-node metadata and bump the generation stamp.
+
+        Never required for correctness inside one manager (nodes are
+        immutable); exposed for callers that hold externally derived
+        per-generation data.
+        """
+        self.cache_generation += 1
+        self._support = {0: _EMPTY_SUPPORT}
+        self._level = {0: 0}
+        self._unitpure_cache = {}
 
     def evaluate(self, root: int, assignment: Dict[int, bool]) -> bool:
         """Evaluate the function at ``root`` under an assignment of external vars."""
@@ -210,11 +374,14 @@ class Aig:
         to themselves.  Returns the list of rebuilt root edges.
         """
         target = target if target is not None else self
+        counters = self.counters
+        counters.rebuild_passes += 1
         cache: Dict[int, int] = {0: FALSE}  # node -> rebuilt edge (uncomplemented view)
         for root in roots:
             for node in self.cone_nodes(root):
                 if node in cache:
                     continue
+                counters.nodes_visited += 1
                 if self.is_input(node):
                     label = self._input_label[node]
                     if label in leaf_map:
@@ -242,18 +409,226 @@ class Aig:
 
     def exists(self, root: int, var: int) -> int:
         """Existential quantification of one external variable."""
-        return self.lor(self.cofactor(root, var, False), self.cofactor(root, var, True))
+        cof0, cof1 = self.cofactor2(root, var)
+        return self.lor(cof0, cof1)
 
     def forall(self, root: int, var: int) -> int:
         """Universal quantification of one external variable."""
-        return self.land(self.cofactor(root, var, False), self.cofactor(root, var, True))
+        cof0, cof1 = self.cofactor2(root, var)
+        return self.land(cof0, cof1)
+
+    # ------------------------------------------------------------------
+    # fused kernel: single-pass substitution / cofactoring / elimination
+    # ------------------------------------------------------------------
+    def restrict(self, root: int, assignment: Dict[int, bool]) -> int:
+        """Substitute constants for several external variables in one pass.
+
+        Unlike ``rebuild``, the traversal never descends into (and never
+        re-strashes) a node whose cone is disjoint from ``assignment`` —
+        such nodes are *shared* with the original cone.  Equivalent to a
+        chain of :meth:`cofactor` calls, in a single traversal.
+        """
+        if root < 2 or not assignment:
+            return root
+        touched = frozenset(assignment)
+        support_of = self.support_of
+        if support_of(root).isdisjoint(touched):
+            return root
+        counters = self.counters
+        counters.fused_passes += 1
+        cache: Dict[int, int] = {0: FALSE}
+        stack = [node_of(root)]
+        while stack:
+            node = stack[-1]
+            if node in cache:
+                stack.pop()
+                continue
+            if support_of(edge_of(node)).isdisjoint(touched):
+                cache[node] = edge_of(node)
+                counters.nodes_shared += 1
+                stack.pop()
+                continue
+            if self.is_input(node):
+                cache[node] = TRUE if assignment[self._input_label[node]] else FALSE
+                counters.nodes_visited += 1
+                stack.pop()
+                continue
+            f0, f1 = self._fanin0[node], self._fanin1[node]
+            r0 = cache.get(node_of(f0))
+            r1 = cache.get(node_of(f1))
+            if r0 is None or r1 is None:
+                if r0 is None:
+                    stack.append(node_of(f0))
+                if r1 is None:
+                    stack.append(node_of(f1))
+                continue
+            cache[node] = self.land(r0 ^ (f0 & 1), r1 ^ (f1 & 1))
+            counters.nodes_visited += 1
+            stack.pop()
+        return cache[node_of(root)] ^ (root & 1)
+
+    def cofactor2(self, root: int, var: int) -> Tuple[int, int]:
+        """Both Shannon cofactors of ``root`` w.r.t. ``var`` in one pass.
+
+        Nodes independent of ``var`` are shared between the input cone
+        and both cofactors; the rest of the cone is visited exactly once
+        (instead of twice for two :meth:`cofactor` calls).
+        """
+        if root < 2:
+            return root, root
+        support_of = self.support_of
+        if var not in support_of(root):
+            return root, root
+        counters = self.counters
+        counters.fused_passes += 1
+        # node -> (0-cofactor edge, 1-cofactor edge), uncomplemented view
+        cache: Dict[int, Tuple[int, int]] = {0: (FALSE, FALSE)}
+        stack = [node_of(root)]
+        while stack:
+            node = stack[-1]
+            if node in cache:
+                stack.pop()
+                continue
+            if var not in support_of(edge_of(node)):
+                edge = edge_of(node)
+                cache[node] = (edge, edge)
+                counters.nodes_shared += 1
+                stack.pop()
+                continue
+            if self.is_input(node):  # the variable itself
+                cache[node] = (FALSE, TRUE)
+                counters.nodes_visited += 1
+                stack.pop()
+                continue
+            f0, f1 = self._fanin0[node], self._fanin1[node]
+            p0 = cache.get(node_of(f0))
+            p1 = cache.get(node_of(f1))
+            if p0 is None or p1 is None:
+                if p0 is None:
+                    stack.append(node_of(f0))
+                if p1 is None:
+                    stack.append(node_of(f1))
+                continue
+            c0, c1 = f0 & 1, f1 & 1
+            cache[node] = (
+                self.land(p0[0] ^ c0, p1[0] ^ c1),
+                self.land(p0[1] ^ c0, p1[1] ^ c1),
+            )
+            counters.nodes_visited += 1
+            stack.pop()
+        e0, e1 = cache[node_of(root)]
+        sign = root & 1
+        return e0 ^ sign, e1 ^ sign
+
+    def eliminate_universal_fused(
+        self,
+        root: int,
+        var: int,
+        dependents: Iterable[int],
+        fresh: Callable[[], int],
+    ) -> Tuple[int, int, Dict[int, int]]:
+        """Theorem-1 kernel: both cofactors *and* the dependent rename of
+        the 1-cofactor in a single cone traversal.
+
+        ``dependents`` are the existential variables whose dependency
+        sets contain ``var``; each one actually used while building the
+        1-cofactor is renamed to a fresh variable obtained from
+        ``fresh()``.  Returns ``(cofactor0, renamed_cofactor1, copies)``
+        where ``copies`` maps originals to their fresh names, filtered
+        to the copies that survive simplification (i.e. that occur in
+        the returned 1-cofactor).
+
+        Sharing rule: a node is reused verbatim on the 0-side whenever
+        its cone misses ``var``, and on the 1-side whenever its cone
+        also misses every dependent (otherwise the rename forces a
+        rebuild even though the cofactor is trivial).
+        """
+        dependents = frozenset(dependents)
+        if root < 2:
+            return root, root, {}
+        support_of = self.support_of
+        root_support = support_of(root)
+        if var not in root_support:
+            return root, root, {}
+        relevant = dependents | {var}
+        counters = self.counters
+        counters.fused_passes += 1
+        copies: Dict[int, int] = {}
+        copy_edges: Dict[int, int] = {}
+
+        def renamed_input(label: int) -> int:
+            edge = copy_edges.get(label)
+            if edge is None:
+                copies[label] = fresh()
+                edge = self.var(copies[label])
+                copy_edges[label] = edge
+            return edge
+
+        cache: Dict[int, Tuple[int, int]] = {0: (FALSE, FALSE)}
+        stack = [node_of(root)]
+        while stack:
+            node = stack[-1]
+            if node in cache:
+                stack.pop()
+                continue
+            node_support = support_of(edge_of(node))
+            if node_support.isdisjoint(relevant):
+                edge = edge_of(node)
+                cache[node] = (edge, edge)
+                counters.nodes_shared += 1
+                stack.pop()
+                continue
+            if self.is_input(node):
+                label = self._input_label[node]
+                if label == var:
+                    cache[node] = (FALSE, TRUE)
+                else:  # a dependent: identical on the 0-side, renamed on the 1-side
+                    cache[node] = (edge_of(node), renamed_input(label))
+                counters.nodes_visited += 1
+                stack.pop()
+                continue
+            f0, f1 = self._fanin0[node], self._fanin1[node]
+            p0 = cache.get(node_of(f0))
+            p1 = cache.get(node_of(f1))
+            if p0 is None or p1 is None:
+                if p0 is None:
+                    stack.append(node_of(f0))
+                if p1 is None:
+                    stack.append(node_of(f1))
+                continue
+            c0, c1 = f0 & 1, f1 & 1
+            if var in node_support:
+                e0 = self.land(p0[0] ^ c0, p1[0] ^ c1)
+            else:  # cofactoring is trivial here; only the rename matters
+                e0 = edge_of(node)
+                counters.nodes_shared += 1
+            cache[node] = (e0, self.land(p0[1] ^ c0, p1[1] ^ c1))
+            counters.nodes_visited += 1
+            stack.pop()
+        e0, e1 = cache[node_of(root)]
+        sign = root & 1
+        cofactor0, cofactor1 = e0 ^ sign, e1 ^ sign
+        if copies:
+            # The same pass's support data tells us which copies survived
+            # the one-level simplifications — no extra cone walk.
+            survivors = self.support_of(cofactor1) if cofactor1 > 1 else _EMPTY_SUPPORT
+            copies = {y: y2 for y, y2 in copies.items() if y2 in survivors}
+        return cofactor0, cofactor1, copies
 
     # ------------------------------------------------------------------
     # compaction
     # ------------------------------------------------------------------
     def extract(self, roots: Sequence[int]) -> Tuple["Aig", List[int]]:
-        """Garbage-collect: copy only the cones of ``roots`` into a fresh manager."""
+        """Garbage-collect: copy only the cones of ``roots`` into a fresh manager.
+
+        The fresh manager starts with empty metadata caches and a bumped
+        ``cache_generation`` (node numbering changes, so per-node data
+        held outside the manager is stale), but *shares* this manager's
+        :class:`KernelCounters` so work accounting survives compaction.
+        """
         fresh = Aig()
+        fresh.counters = self.counters
+        fresh.cache_generation = self.cache_generation + 1
         new_roots = self.rebuild(roots, {}, target=fresh)
         return fresh, new_roots
 

@@ -20,7 +20,7 @@ is ``O(|phi| + |V|)``.
 
 from __future__ import annotations
 
-from typing import Dict, Set, Tuple
+from typing import Dict, Set
 
 from .graph import Aig, FALSE, TRUE, is_complemented, node_of
 
@@ -117,8 +117,29 @@ def find_pures(aig: Aig, root: int) -> Dict[int, bool]:
     return pures
 
 
+_CACHE_LIMIT = 4096
+
+
 def detect_unit_pure(aig: Aig, root: int) -> UnitPureInfo:
-    """Run both syntactic checks; unit findings take precedence over pure."""
+    """Run both syntactic checks; unit findings take precedence over pure.
+
+    Results are memoized per root edge on the manager: a root's function
+    (and hence its syntactic units/pures) never changes in an
+    append-only AIG, so re-detection after an unrelated iteration of the
+    solver loop is a cache hit.  The cache dies with the manager on
+    ``extract`` (compaction renumbers nodes).  Callers must treat the
+    returned info as read-only.
+    """
+    cache = aig._unitpure_cache
+    info = cache.get(root)
+    if info is not None:
+        aig.counters.unitpure_cache_hits += 1
+        return info
+    aig.counters.unitpure_cache_misses += 1
     units = find_units(aig, root)
     pures = {v: p for v, p in find_pures(aig, root).items() if v not in units}
-    return UnitPureInfo(units, pures)
+    info = UnitPureInfo(units, pures)
+    if len(cache) >= _CACHE_LIMIT:
+        cache.clear()
+    cache[root] = info
+    return info

@@ -31,9 +31,8 @@ instantiations blow up — exactly where HQS wins by orders of magnitude.
 
 from __future__ import annotations
 
-import itertools
 import time
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..aig.cnf_bridge import aig_to_cnf, cnf_to_aig
 from ..aig.graph import Aig, FALSE, TRUE, complement

@@ -17,32 +17,53 @@ eliminated as in QBF by ``phi[0/y] ∨ phi[1/y]`` without any copies.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
-from ..aig.graph import complement
+from ..aig.graph import edge_of
 from .state import AigDqbf
 
 
-def eliminate_universal(state: AigDqbf, x: int) -> Dict[int, int]:
-    """Apply Theorem 1 to ``x``; returns the ``{y: y'}`` copy map."""
+def eliminate_universal(state: AigDqbf, x: int, fused: bool = True) -> Dict[int, int]:
+    """Apply Theorem 1 to ``x``; returns the ``{y: y'}`` copy map.
+
+    With ``fused=True`` (the default) both cofactors and the dependent
+    rename come out of one :meth:`~repro.aig.graph.Aig.eliminate_universal_fused`
+    cone traversal, and the copy decision reuses that pass's support
+    data.  ``fused=False`` keeps the original four-pass rebuild chain
+    (two cofactors, a support walk, a rename) as a reference
+    implementation for equivalence testing and kernel benchmarks.
+    """
     if not state.prefix.is_universal(x):
         raise ValueError(f"{x} is not a universal variable")
     aig = state.aig
+
+    # A universal absent from the matrix has identical cofactors; both
+    # theorems degenerate to dropping it from the prefix (copying the
+    # dependents would only duplicate the conjunct).
+    if state.root < 2 or x not in aig.support_of(state.root):
+        state.prefix.remove_universal(x)
+        return {}
+
     dependents = state.prefix.dependents_of(x)
 
-    cofactor0 = aig.cofactor(state.root, x, False)
-    cofactor1 = aig.cofactor(state.root, x, True)
+    if fused:
+        cofactor0, cofactor1, copies = aig.eliminate_universal_fused(
+            state.root, x, dependents, state.fresh_var
+        )
+    else:
+        cofactor0 = aig.cofactor(state.root, x, False)
+        cofactor1 = aig.cofactor(state.root, x, True)
 
-    copies: Dict[int, int] = {}
-    # Only rename variables that actually occur in the 1-cofactor; the
-    # others need no copy (their two copies would be mergeable anyway,
-    # and skipping them keeps the formula small).
-    support1 = aig.support(cofactor1) if cofactor1 > 1 else set()
-    for y in dependents:
-        if y in support1:
-            copies[y] = state.fresh_var()
-    if copies:
-        cofactor1 = aig.rename(cofactor1, copies)
+        copies = {}
+        # Only rename variables that actually occur in the 1-cofactor; the
+        # others need no copy (their two copies would be mergeable anyway,
+        # and skipping them keeps the formula small).
+        support1 = aig.support(cofactor1) if cofactor1 > 1 else set()
+        for y in dependents:
+            if y in support1:
+                copies[y] = state.fresh_var()
+        if copies:
+            cofactor1 = aig.rename(cofactor1, copies)
 
     state.root = aig.land(cofactor0, cofactor1)
     # Prefix update: new copies inherit D_y minus x, then x disappears
@@ -53,7 +74,7 @@ def eliminate_universal(state: AigDqbf, x: int) -> Dict[int, int]:
     return copies
 
 
-def eliminate_existential(state: AigDqbf, y: int) -> None:
+def eliminate_existential(state: AigDqbf, y: int, fused: bool = True) -> None:
     """Apply Theorem 2 to ``y`` (requires ``D_y`` = all universals)."""
     prefix = state.prefix
     if not prefix.is_existential(y):
@@ -63,8 +84,11 @@ def eliminate_existential(state: AigDqbf, y: int) -> None:
             f"existential {y} does not depend on all universal variables"
         )
     aig = state.aig
-    cofactor0 = aig.cofactor(state.root, y, False)
-    cofactor1 = aig.cofactor(state.root, y, True)
+    if fused:
+        cofactor0, cofactor1 = aig.cofactor2(state.root, y)
+    else:
+        cofactor0 = aig.cofactor(state.root, y, False)
+        cofactor1 = aig.cofactor(state.root, y, True)
     state.root = aig.lor(cofactor0, cofactor1)
     prefix.remove_existential(y)
 
@@ -95,17 +119,13 @@ def universal_growth_estimate(state: AigDqbf, x: int) -> int:
     aig = state.aig
     if state.root in (0, 1):
         return 0
-    depends: dict = {}
-    count = 0
-    for node in aig.cone_nodes(state.root):
-        if aig.is_input(node):
-            depends[node] = aig.input_label(node) == x
-        elif aig.is_and(node):
-            f0, f1 = aig.fanins(node)
-            value = depends[f0 >> 1] or depends[f1 >> 1]
-            depends[node] = value
-            if value:
-                count += 1
-        else:
-            depends[node] = False
-    return count
+    # The per-node support cache answers "does this node's cone contain
+    # x?" in O(1), replacing the dependence-propagation pass this
+    # function used to run for every candidate.
+    if x not in aig.support_of(state.root):
+        return 0
+    return sum(
+        1
+        for node in aig.cone_nodes(state.root)
+        if aig.is_and(node) and x in aig.support_of(edge_of(node))
+    )

@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Set
 
 from ..aig.cnf_bridge import cnf_to_aig, is_satisfiable
 from ..aig.fraig import FraigOptions, fraig_root
-from ..aig.graph import FALSE, TRUE, Aig, complement
+from ..aig.graph import FALSE, Aig, complement
 from ..formula.dqbf import Dqbf
 from ..formula.lits import var_of
 from ..qbf.aigsolve import QbfSolverStats, solve_aig_qbf
@@ -59,6 +59,7 @@ class HqsOptions:
         use_maxsat_selection: bool = True,
         use_qbf_backend: bool = True,
         use_sat_probe: bool = False,
+        use_fused_kernel: bool = True,
         elimination_order: str = "copies",
         fraig_interval: int = 0,
         compact_ratio: int = 4,
@@ -73,6 +74,11 @@ class HqsOptions:
         # refutes with a single ground solve.  Off by default, matching
         # the evaluated HQS configuration.
         self.use_sat_probe = use_sat_probe
+        # Single-pass AIG kernel (fused cofactor/rename, batched
+        # unit/pure substitution).  Off = the naive one-rebuild-per-step
+        # reference path, kept for equivalence tests and the kernel
+        # benchmark's before/after comparison.
+        self.use_fused_kernel = use_fused_kernel
         # "copies" orders elimination candidates by the number of
         # existential copies (the paper's heuristic); "growth" by the
         # estimated AIG duplication (the conclusion's future-work
@@ -98,6 +104,7 @@ class HqsSolver:
         self.stats: Dict[str, float] = {}
         self.trace: List[str] = []
         self._tracing = trace
+        self._kernel_counters = None
 
     def _trace(self, message: str) -> None:
         if self._tracing:
@@ -110,6 +117,7 @@ class HqsSolver:
         self.stats = {}
         self.trace = []
         start = time.monotonic()
+        self._kernel_counters = None
         try:
             answer = self._solve_inner(formula, limits)
             status = SAT if answer else UNSAT
@@ -117,6 +125,8 @@ class HqsSolver:
             status = TIMEOUT
         except NodeLimitExceeded:
             status = MEMOUT
+        finally:
+            self._export_kernel_stats()
         runtime = time.monotonic() - start
         return SolveResult(status, runtime, dict(self.stats))
 
@@ -146,11 +156,17 @@ class HqsSolver:
         limits.check_time()
         state = self._build_state(work, gates)
         state.prune_prefix()
+        # Kernel counters live on the AIG manager and survive compaction
+        # (extract shares the object); keep a handle for stats export.
+        self._kernel_counters = state.aig.counters
         self.stats["initial_matrix_size"] = state.matrix_size()
+        if state.root > 1:
+            self.stats["initial_matrix_level"] = state.aig.level_of(state.root)
         self._trace(
             f"matrix AIG built: {state.matrix_size()} AND nodes, "
             f"{len(state.prefix.universals)} universal / "
-            f"{len(state.prefix.existentials)} existential variables"
+            f"{len(state.prefix.existentials)} existential variables "
+            f"({'fused' if options.use_fused_kernel else 'naive'} kernel)"
         )
 
         if options.use_sat_probe and not self._sat_probe(state, limits):
@@ -192,7 +208,9 @@ class HqsSolver:
 
             if options.use_unit_pure:
                 tick = time.monotonic()
-                decided = apply_unit_pure(state, unit_pure_stats)
+                decided = apply_unit_pure(
+                    state, unit_pure_stats, batched=options.use_fused_kernel
+                )
                 unit_pure_time += time.monotonic() - tick
                 self.stats["unit_pure_time"] = unit_pure_time
                 self._export_unit_pure(unit_pure_stats)
@@ -206,7 +224,7 @@ class HqsSolver:
                 progressed = False
                 for y in eliminable_existentials(state):
                     limits.check_time()
-                    eliminate_existential(state, y)
+                    eliminate_existential(state, y, fused=options.use_fused_kernel)
                     eliminations["existential"] += 1
                     self._trace(
                         f"Theorem 2: eliminated existential {y}, "
@@ -238,6 +256,7 @@ class HqsSolver:
                         use_unit_pure=options.use_unit_pure,
                         stats=qbf_stats,
                         compact_ratio=options.compact_ratio,
+                        fused=options.use_fused_kernel,
                     )
                     self.stats.update(
                         {f"qbf_{k}": v for k, v in qbf_stats.as_dict().items()}
@@ -253,7 +272,7 @@ class HqsSolver:
                     candidates = self._fallback_candidates(state)
                 x = self._next_universal(state, candidates)
 
-            copies = eliminate_universal(state, x)
+            copies = eliminate_universal(state, x, fused=options.use_fused_kernel)
             eliminations["universal"] += 1
             self._trace(
                 f"Theorem 1: eliminated universal {x} "
@@ -324,7 +343,13 @@ class HqsSolver:
             state.compact()
 
     def _fraig(self, state: AigDqbf) -> None:
+        counters = state.aig.counters
+        generation = state.aig.cache_generation
         fresh, root = fraig_root(state.aig, state.root, FraigOptions())
+        # FRAIG rebuilds into a brand-new manager: keep accumulating
+        # kernel work in the same counters and advance the generation.
+        fresh.counters = counters
+        fresh.cache_generation = generation + 1
         state.aig = fresh
         state.root = root
 
@@ -356,6 +381,34 @@ class HqsSolver:
     def _export_eliminations(self, counters: Dict[str, int]) -> None:
         self.stats["universal_eliminations"] = counters["universal"]
         self.stats["existential_eliminations"] = counters["existential"]
+
+    def _export_kernel_stats(self) -> None:
+        """Publish the AIG kernel counters as ``kernel_*`` stats fields."""
+        counters = self._kernel_counters
+        if counters is None:
+            return
+        raw = counters.as_dict()
+        for key, value in raw.items():
+            self.stats[f"kernel_{key}"] = value
+        lookups = raw["strash_lookups"]
+        self.stats["kernel_strash_hit_rate"] = (
+            raw["strash_hits"] / lookups if lookups else 0.0
+        )
+        support_queries = raw["support_cache_hits"] + raw["support_cache_misses"]
+        self.stats["kernel_support_cache_hit_rate"] = (
+            raw["support_cache_hits"] / support_queries if support_queries else 0.0
+        )
+        unitpure_queries = raw["unitpure_cache_hits"] + raw["unitpure_cache_misses"]
+        self.stats["kernel_unitpure_cache_hit_rate"] = (
+            raw["unitpure_cache_hits"] / unitpure_queries if unitpure_queries else 0.0
+        )
+        self._trace(
+            f"kernel: {raw['rebuild_passes']} rebuild passes, "
+            f"{raw['fused_passes']} fused passes, "
+            f"{raw['nodes_visited']} nodes visited, "
+            f"{raw['nodes_shared']} shared, "
+            f"strash hit rate {self.stats['kernel_strash_hit_rate']:.2f}"
+        )
 
 
 def solve_dqbf(

@@ -14,7 +14,7 @@ each pair with one selector variable, which preserves the optimum.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..formula.prefix import DependencyPrefix
 from ..maxsat.solver import PartialMaxSatSolver

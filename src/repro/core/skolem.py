@@ -23,7 +23,7 @@ import itertools
 from typing import Dict, List, Optional, Tuple
 
 from ..aig.cnf_bridge import cnf_to_aig, is_satisfiable
-from ..aig.graph import FALSE, TRUE, Aig, complement
+from ..aig.graph import TRUE, Aig, complement
 from ..formula.dqbf import Dqbf
 from .result import Limits, SAT, SolveResult
 

@@ -8,20 +8,44 @@ introduces.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Dict, Optional
 
 from ..aig.graph import FALSE, TRUE, Aig
 from ..formula.prefix import DependencyPrefix
 
 
 class AigDqbf:
-    """A DQBF whose matrix lives in an AIG."""
+    """A DQBF whose matrix lives in an AIG.
+
+    ``root`` and ``aig`` are properties: assigning either invalidates
+    the memoized live-cone size (``matrix_size``), so solver loops can
+    poll the size every iteration without re-walking the cone.
+    """
 
     def __init__(self, aig: Aig, root: int, prefix: DependencyPrefix, next_var: int):
-        self.aig = aig
-        self.root = root
+        self._aig = aig
+        self._root = root
         self.prefix = prefix
         self.next_var = next_var
+        self._matrix_size: Optional[int] = None
+
+    @property
+    def aig(self) -> Aig:
+        return self._aig
+
+    @aig.setter
+    def aig(self, manager: Aig) -> None:
+        self._aig = manager
+        self._matrix_size = None
+
+    @property
+    def root(self) -> int:
+        return self._root
+
+    @root.setter
+    def root(self, edge: int) -> None:
+        self._root = edge
+        self._matrix_size = None
 
     def fresh_var(self) -> int:
         var = self.next_var
@@ -31,10 +55,10 @@ class AigDqbf:
     # ------------------------------------------------------------------
     # bookkeeping
     # ------------------------------------------------------------------
-    def support(self) -> Set[int]:
+    def support(self) -> frozenset:
         if self.root in (TRUE, FALSE):
-            return set()
-        return self.aig.support(self.root)
+            return frozenset()
+        return self.aig.support_of(self.root)
 
     def prune_prefix(self) -> None:
         """Remove prefix variables that no longer occur in the matrix."""
@@ -48,10 +72,17 @@ class AigDqbf:
         return None
 
     def matrix_size(self) -> int:
-        """AND-node count of the live cone (the |phi| of the paper)."""
+        """AND-node count of the live cone (the |phi| of the paper).
+
+        Memoized until the next ``root``/``aig`` assignment — the solver
+        loop polls this every iteration for compaction and node-budget
+        checks, which used to cost one full cone walk each.
+        """
         if self.root in (TRUE, FALSE):
             return 0
-        return self.aig.cone_size(self.root)
+        if self._matrix_size is None:
+            self._matrix_size = self.aig.cone_size(self.root)
+        return self._matrix_size
 
     def compact(self) -> None:
         """Garbage-collect the AIG manager, keeping only the live cone."""

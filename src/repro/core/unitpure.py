@@ -37,12 +37,21 @@ class UnitPureStats:
         )
 
 
-def apply_unit_pure(state: AigDqbf, stats: Optional[UnitPureStats] = None) -> Optional[bool]:
+def apply_unit_pure(
+    state: AigDqbf, stats: Optional[UnitPureStats] = None, batched: bool = True
+) -> Optional[bool]:
     """Eliminate unit/pure variables until fixpoint.
 
     Returns ``False`` when a universal unit proves the formula UNSAT,
     ``True``/``False`` when the matrix collapses to a constant, and
     ``None`` otherwise (state updated in place).
+
+    With ``batched=True`` (the default) every substitution of a
+    detection round is collected into one constant assignment and
+    applied by a single fused :meth:`~repro.aig.graph.Aig.restrict`
+    pass.  Substituting constants for distinct variables commutes, so
+    this is equivalent to the ``batched=False`` reference path, which
+    rebuilds the full live cone once per variable.
     """
     stats = stats if stats is not None else UnitPureStats()
     while True:
@@ -53,28 +62,70 @@ def apply_unit_pure(state: AigDqbf, stats: Optional[UnitPureStats] = None) -> Op
         if not info:
             return None
         stats.rounds += 1
-        progress = False
-        for var, forced in info.units.items():
-            if not state.prefix.quantifies(var):
-                continue
-            if state.prefix.is_universal(var):
-                # Theorem 5: a unit universal variable falsifies the DQBF.
-                return False
-            state.root = state.aig.cofactor(state.root, var, forced)
+        if batched:
+            outcome = _apply_round_batched(state, info, stats)
+        else:
+            outcome = _apply_round_naive(state, info, stats)
+        if outcome is not _CONTINUE:
+            return outcome
+
+
+_CONTINUE = object()  # sentinel: round applied, keep iterating
+
+
+def _apply_round_batched(state: AigDqbf, info, stats: UnitPureStats):
+    """Apply one detection round as a single multi-variable restrict."""
+    for var in info.units:
+        if state.prefix.quantifies(var) and state.prefix.is_universal(var):
+            # Theorem 5: a unit universal variable falsifies the DQBF.
+            return False
+    assignment = {}
+    for var, forced in info.units.items():
+        if not state.prefix.quantifies(var):
+            continue
+        assignment[var] = forced
+        stats.units_eliminated += 1
+    for var, polarity in info.pures.items():
+        if not state.prefix.quantifies(var):
+            continue
+        if state.prefix.is_existential(var):
+            assignment[var] = polarity
+        else:
+            # Universal pure: substitute the adverse polarity.
+            assignment[var] = not polarity
+        stats.pures_eliminated += 1
+    if not assignment:
+        return None
+    state.root = state.aig.restrict(state.root, assignment)
+    for var in assignment:
+        if state.prefix.is_existential(var):
             state.prefix.remove_existential(var)
-            stats.units_eliminated += 1
-            progress = True
-        for var, polarity in info.pures.items():
-            if not state.prefix.quantifies(var):
-                continue
-            if state.prefix.is_existential(var):
-                state.root = state.aig.cofactor(state.root, var, polarity)
-                state.prefix.remove_existential(var)
-            else:
-                # Universal pure: substitute the adverse polarity.
-                state.root = state.aig.cofactor(state.root, var, not polarity)
-                state.prefix.remove_universal(var)
-            stats.pures_eliminated += 1
-            progress = True
-        if not progress:
-            return None
+        else:
+            state.prefix.remove_universal(var)
+    return _CONTINUE
+
+
+def _apply_round_naive(state: AigDqbf, info, stats: UnitPureStats):
+    """Reference path: one full-cone cofactor rebuild per variable."""
+    progress = False
+    for var, forced in info.units.items():
+        if not state.prefix.quantifies(var):
+            continue
+        if state.prefix.is_universal(var):
+            return False
+        state.root = state.aig.cofactor(state.root, var, forced)
+        state.prefix.remove_existential(var)
+        stats.units_eliminated += 1
+        progress = True
+    for var, polarity in info.pures.items():
+        if not state.prefix.quantifies(var):
+            continue
+        if state.prefix.is_existential(var):
+            state.root = state.aig.cofactor(state.root, var, polarity)
+            state.prefix.remove_existential(var)
+        else:
+            state.root = state.aig.cofactor(state.root, var, not polarity)
+            state.prefix.remove_universal(var)
+        stats.pures_eliminated += 1
+        progress = True
+    return _CONTINUE if progress else None

@@ -15,7 +15,7 @@ Run as a module::
 from __future__ import annotations
 
 import sys
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from .runner import BenchConfig, RunRecord, run_suite
 

@@ -14,12 +14,12 @@ the benchmark harness scale without code changes:
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..baselines.expansion import solve_expansion
 from ..baselines.idq import IdqSolver
 from ..core.hqs import HqsOptions, HqsSolver
-from ..core.result import MEMOUT, SAT, TIMEOUT, UNSAT, Limits, SolveResult
+from ..core.result import SAT, TIMEOUT, UNSAT, Limits, SolveResult
 from ..formula.dqbf import Dqbf
 from ..pec.encode import PecInstance
 from ..pec.families import FAMILIES, generate_family

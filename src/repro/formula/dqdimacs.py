@@ -18,7 +18,7 @@ DIMACS.
 from __future__ import annotations
 
 import io
-from typing import Iterable, List, TextIO, Union
+from typing import List, TextIO, Union
 
 from .cnf import Cnf
 from .dqbf import Dqbf

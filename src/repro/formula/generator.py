@@ -14,7 +14,7 @@ controls the parameters that matter for DQBF difficulty:
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from .cnf import Cnf
 from .dqbf import Dqbf

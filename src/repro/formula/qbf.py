@@ -14,7 +14,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from .cnf import Cnf
 from .dqbf import Dqbf
-from .prefix import EXISTS, FORALL, BlockedPrefix
+from .prefix import FORALL, BlockedPrefix
 
 
 class Qbf:

@@ -23,11 +23,9 @@ express such games.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..aig.cnf_bridge import aig_to_cnf
-from ..aig.graph import Aig, complement
-from ..core.result import Limits, SAT, SolveResult
+from ..core.result import Limits, SAT
 from ..core.skolem import SkolemTable
 from ..formula.cnf import Cnf
 from ..formula.dqbf import Dqbf

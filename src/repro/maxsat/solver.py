@@ -13,7 +13,7 @@ eliminated — is usually tiny, so the first few iterations settle it.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence
 
 from ..sat.solver import SAT, UNSAT, CdclSolver
 from .totalizer import Totalizer

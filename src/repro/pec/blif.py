@@ -12,9 +12,9 @@ Supports the subset needed for PEC workflows:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
-from .circuit import BlackBox, Circuit, Gate
+from .circuit import Circuit, Gate
 
 
 class BlifError(ValueError):

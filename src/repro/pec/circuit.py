@@ -10,7 +10,7 @@ long as the overall netlist stays acyclic.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..aig.graph import Aig, FALSE, TRUE, complement
 

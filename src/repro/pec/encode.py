@@ -27,7 +27,6 @@ from typing import Dict, List, Optional, Tuple
 
 from ..aig.cnf_bridge import aig_to_cnf
 from ..aig.graph import Aig, complement
-from ..formula.cnf import Cnf
 from ..formula.dqbf import Dqbf
 from ..formula.prefix import DependencyPrefix
 from .circuit import BlackBox, Circuit

@@ -27,7 +27,7 @@ c432       grouped priority interrupt controller stand-in
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from .circuit import Circuit, Gate
 from .encode import PecInstance, encode_pec

@@ -21,8 +21,7 @@ from typing import Dict, List, Optional, Tuple
 from ..aig.cnf_bridge import is_satisfiable
 from ..aig.graph import Aig
 from ..core.result import Limits
-from ..core.skolem import SkolemTable
-from .circuit import BlackBox, Circuit
+from .circuit import Circuit
 
 
 def table_to_gates(

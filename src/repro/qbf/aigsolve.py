@@ -13,10 +13,10 @@ a single SAT call when only one quantifier block remains.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Dict, Optional
 
 from ..aig.cnf_bridge import is_satisfiable, is_tautology
-from ..aig.graph import FALSE, TRUE, Aig, is_complemented, node_of
+from ..aig.graph import FALSE, TRUE, Aig, node_of
 from ..aig.unitpure import detect_unit_pure
 from ..core.result import Limits
 from ..formula.prefix import EXISTS, FORALL, BlockedPrefix
@@ -44,12 +44,18 @@ def solve_aig_qbf(
     use_unit_pure: bool = True,
     stats: Optional[QbfSolverStats] = None,
     compact_ratio: int = 4,
+    fused: bool = True,
 ) -> bool:
     """Decide the QBF given by ``prefix`` over the function at ``root``.
 
     ``prefix`` is consumed (mutated); pass a copy if it must survive.
     Raises :class:`~repro.core.result.TimeoutExceeded` /
     :class:`NodeLimitExceeded` when ``limits`` are exhausted.
+
+    ``fused`` selects the single-pass AIG kernel (``cofactor2`` for
+    quantification, batched ``restrict`` for unit/pure); the naive path
+    rebuilds the full cone once per cofactor and is kept for kernel
+    comparisons.
     """
     limits = limits or Limits()
     stats = stats if stats is not None else QbfSolverStats()
@@ -69,13 +75,13 @@ def solve_aig_qbf(
             aig = fresh
         limits.check_nodes(aig.cone_size(root))
 
-        support = aig.support(root)
+        support = aig.support_of(root)
         for var in prefix.variables():
             if var not in support:
                 prefix.remove_variable(var)
 
         if use_unit_pure:
-            outcome, root = _apply_unit_pure_qbf(aig, root, prefix, stats)
+            outcome, root = _apply_unit_pure_qbf(aig, root, prefix, stats, fused)
             if outcome is not None:
                 return outcome
             if root in (TRUE, FALSE):
@@ -95,10 +101,12 @@ def solve_aig_qbf(
 
         quantifier, variables = prefix.innermost_block()
         var = _cheapest_variable(aig, root, variables)
-        if quantifier == EXISTS:
-            root = aig.exists(root, var)
+        if fused:
+            cof0, cof1 = aig.cofactor2(root, var)
         else:
-            root = aig.forall(root, var)
+            cof0 = aig.cofactor(root, var, False)
+            cof1 = aig.cofactor(root, var, True)
+        root = aig.lor(cof0, cof1) if quantifier == EXISTS else aig.land(cof0, cof1)
         prefix.remove_variable(var)
         stats.quantifier_eliminations += 1
 
@@ -136,33 +144,45 @@ def _cheapest_variable(aig: Aig, root: int, variables) -> int:
     return min(variables, key=lambda v: (fanout.get(v, 0), v))
 
 
-def _apply_unit_pure_qbf(aig: Aig, root: int, prefix: BlockedPrefix, stats: QbfSolverStats):
-    """Theorem 5 on a blocked prefix; returns ``(decided, root)``."""
+def _apply_unit_pure_qbf(
+    aig: Aig,
+    root: int,
+    prefix: BlockedPrefix,
+    stats: QbfSolverStats,
+    fused: bool = True,
+):
+    """Theorem 5 on a blocked prefix; returns ``(decided, root)``.
+
+    ``fused`` applies each detection round as one batched ``restrict``
+    instead of one full-cone cofactor rebuild per variable.
+    """
     while True:
         if root in (TRUE, FALSE):
             return None, root
         info = detect_unit_pure(aig, root)
         if not info:
             return None, root
-        progress = False
-        for var, forced in info.units.items():
-            quantifier = prefix.quantifier_of(var)
-            if quantifier is None:
-                continue
-            if quantifier == FORALL:
+        for var in info.units:
+            if prefix.quantifier_of(var) == FORALL:
                 return False, root
-            root = aig.cofactor(root, var, forced)
-            prefix.remove_variable(var)
+        assignment: Dict[int, bool] = {}
+        for var, forced in info.units.items():
+            if prefix.quantifier_of(var) is None:
+                continue
+            assignment[var] = forced
             stats.unit_eliminations += 1
-            progress = True
         for var, polarity in info.pures.items():
             quantifier = prefix.quantifier_of(var)
             if quantifier is None:
                 continue
-            value = polarity if quantifier == EXISTS else not polarity
-            root = aig.cofactor(root, var, value)
-            prefix.remove_variable(var)
+            assignment[var] = polarity if quantifier == EXISTS else not polarity
             stats.pure_eliminations += 1
-            progress = True
-        if not progress:
+        if not assignment:
             return None, root
+        if fused:
+            root = aig.restrict(root, assignment)
+        else:
+            for var, value in assignment.items():
+                root = aig.cofactor(root, var, value)
+        for var in assignment:
+            prefix.remove_variable(var)

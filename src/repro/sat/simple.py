@@ -7,7 +7,7 @@ property-tested against this implementation on random formulas.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional
 
 from ..formula.lits import var_of
 

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import random
-from typing import List, Tuple
 
 import pytest
 from hypothesis import strategies as st

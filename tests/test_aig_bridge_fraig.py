@@ -8,7 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.aig.cnf_bridge import aig_to_cnf, cnf_to_aig, is_satisfiable, is_tautology
-from repro.aig.fraig import FraigOptions, fraig_root, simulate
+from repro.aig.fraig import fraig_root, simulate
 from repro.aig.graph import FALSE, TRUE, Aig, complement
 from repro.errors import TimeoutExceeded
 from repro.sat.simple import dpll_solve

@@ -8,7 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.aig.aiger import AigerError, load_aiger, parse_aiger, save_aiger, write_aiger
-from repro.aig.graph import Aig, FALSE, TRUE, complement
+from repro.aig.graph import Aig, FALSE, TRUE
 from repro.pec.blif import BlifError, load_blif, parse_blif, save_blif, write_blif
 from repro.pec.circuit import Circuit
 from repro.pec.families import cut_black_boxes, ripple_adder, xor_chain

@@ -5,7 +5,6 @@ circuit -> BLIF -> circuit -> PEC encoding -> DQDIMACS -> solver ->
 certificate, with every solver cross-checked against every other.
 """
 
-import itertools
 
 import pytest
 

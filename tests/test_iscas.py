@@ -1,6 +1,5 @@
 """Tests for the ISCAS'85-style stand-in circuits (z4ml, comp, C432)."""
 
-import itertools
 
 import pytest
 

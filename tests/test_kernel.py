@@ -1,0 +1,305 @@
+"""Fused AIG kernel: equivalence with the naive rebuild path + caches.
+
+The fused primitives (``restrict``, ``cofactor2``,
+``eliminate_universal_fused``) and the batched unit/pure application
+must compute exactly the functions of the naive ``cofactor``/``rename``
+chains they replace.  Equivalence is checked property-style with
+``Aig.evaluate`` under random assignments, on random expression AIGs
+and on random DQBFs.
+"""
+
+import itertools
+import random
+
+from hypothesis import given, settings
+
+from repro.aig.cnf_bridge import cnf_to_aig
+from repro.aig.graph import FALSE, TRUE, Aig, complement
+from repro.core.elimination import eliminate_universal
+from repro.core.hqs import HqsOptions, HqsSolver
+from repro.core.state import AigDqbf
+from repro.core.unitpure import UnitPureStats, apply_unit_pure
+from repro.formula.dqbf import Dqbf, expansion_solve
+
+from conftest import dqbf_strategy, random_dqbf
+
+
+def random_edge(aig: Aig, rng: random.Random, variables, depth: int) -> int:
+    if depth == 0 or rng.random() < 0.3:
+        edge = aig.var(rng.choice(variables))
+        return complement(edge) if rng.random() < 0.5 else edge
+    op = rng.choice(["and", "or", "xor"])
+    a = random_edge(aig, rng, variables, depth - 1)
+    b = random_edge(aig, rng, variables, depth - 1)
+    return {"and": aig.land, "or": aig.lor, "xor": aig.lxor}[op](a, b)
+
+
+def assignments(variables, rng: random.Random, samples: int = 16):
+    """All assignments when small, a random sample otherwise."""
+    variables = sorted(variables)
+    if len(variables) <= 6:
+        for values in itertools.product([False, True], repeat=len(variables)):
+            yield dict(zip(variables, values))
+    else:
+        for _ in range(samples):
+            yield {v: rng.random() < 0.5 for v in variables}
+
+
+def equivalent(aig_a: Aig, root_a: int, aig_b: Aig, root_b: int, variables, rng) -> bool:
+    for assignment in assignments(variables, rng):
+        va = (root_a == TRUE) if root_a in (TRUE, FALSE) else aig_a.evaluate(root_a, assignment)
+        vb = (root_b == TRUE) if root_b in (TRUE, FALSE) else aig_b.evaluate(root_b, assignment)
+        if va != vb:
+            return False
+    return True
+
+
+def state_of(formula: Dqbf) -> AigDqbf:
+    aig, root = cnf_to_aig(formula.matrix.clauses)
+    next_var = max([formula.matrix.num_vars] + formula.prefix.all_variables()) + 1
+    return AigDqbf(aig, root, formula.prefix.copy(), next_var)
+
+
+class TestFusedPrimitives:
+    def test_cofactor2_matches_naive_cofactors(self):
+        rng = random.Random(1)
+        variables = [1, 2, 3, 4, 5]
+        for _ in range(40):
+            aig = Aig()
+            root = random_edge(aig, rng, variables, depth=4)
+            var = rng.choice(variables)
+            cof0, cof1 = aig.cofactor2(root, var)
+            assert cof0 == aig.cofactor(root, var, False)
+            assert cof1 == aig.cofactor(root, var, True)
+
+    def test_cofactor2_shares_independent_cone(self):
+        aig = Aig()
+        a, b, c = aig.var(1), aig.var(2), aig.var(3)
+        heavy = aig.land(aig.lor(a, b), aig.lxor(a, b))  # no 3 anywhere
+        root = aig.land(heavy, c)
+        cof0, cof1 = aig.cofactor2(root, 3)
+        assert cof0 == FALSE
+        assert cof1 == heavy  # shared verbatim, not rebuilt
+
+    def test_restrict_matches_cofactor_chain(self):
+        rng = random.Random(2)
+        variables = [1, 2, 3, 4, 5, 6]
+        for _ in range(40):
+            aig = Aig()
+            root = random_edge(aig, rng, variables, depth=4)
+            chosen = rng.sample(variables, rng.randint(1, 3))
+            assignment = {v: rng.random() < 0.5 for v in chosen}
+            fused = aig.restrict(root, assignment)
+            naive = root
+            for var, value in assignment.items():
+                naive = aig.cofactor(naive, var, value)
+            assert fused == naive
+
+    def test_restrict_untouched_support_is_identity(self):
+        aig = Aig()
+        root = aig.land(aig.var(1), aig.var(2))
+        assert aig.restrict(root, {7: True, 9: False}) == root
+        assert aig.restrict(root, {}) == root
+
+    def test_exists_forall_still_correct(self):
+        rng = random.Random(3)
+        variables = [1, 2, 3, 4]
+        for _ in range(25):
+            aig = Aig()
+            root = random_edge(aig, rng, variables, depth=3)
+            var = rng.choice(variables)
+            ex = aig.exists(root, var)
+            fa = aig.forall(root, var)
+            for assignment in assignments(set(variables) - {var}, rng):
+                branches = [
+                    aig.evaluate(root, {**assignment, var: value})
+                    if root not in (TRUE, FALSE)
+                    else root == TRUE
+                    for value in (False, True)
+                ]
+                want_ex = branches[0] or branches[1]
+                want_fa = branches[0] and branches[1]
+                got_ex = ex == TRUE if ex in (TRUE, FALSE) else aig.evaluate(ex, assignment)
+                got_fa = fa == TRUE if fa in (TRUE, FALSE) else aig.evaluate(fa, assignment)
+                assert got_ex == want_ex
+                assert got_fa == want_fa
+
+
+class TestFusedElimination:
+    @settings(max_examples=40, deadline=None)
+    @given(formula=dqbf_strategy())
+    def test_theorem1_fused_equals_naive(self, formula):
+        """One Theorem-1 step: fused and naive produce the same function."""
+        rng = random.Random(4)
+        universal = formula.prefix.universals[0]
+        fused_state = state_of(formula.copy())
+        naive_state = state_of(formula.copy())
+        fused_copies = eliminate_universal(fused_state, universal, fused=True)
+        naive_copies = eliminate_universal(naive_state, universal, fused=False)
+
+        assert set(fused_copies) == set(naive_copies)
+        # Copy *names* may differ between the paths; align them.
+        fused_to_naive = {
+            fused_copies[y]: naive_copies[y] for y in fused_copies
+        }
+        if fused_state.root > 1:
+            aligned = fused_state.aig.rename(fused_state.root, fused_to_naive)
+        else:
+            aligned = fused_state.root
+        support = set()
+        if naive_state.root > 1:
+            support |= naive_state.aig.support(naive_state.root)
+        if aligned > 1:
+            support |= fused_state.aig.support(aligned)
+        assert equivalent(
+            fused_state.aig, aligned, naive_state.aig, naive_state.root, support, rng
+        )
+        # And the prefix bookkeeping must agree.
+        assert set(fused_state.prefix.universals) == set(naive_state.prefix.universals)
+        assert set(fused_state.prefix.existentials) == set(naive_state.prefix.existentials)
+
+    def test_copies_only_for_occurring_dependents(self):
+        # Matrix (x | y2) & (!x | y3): the 1-cofactor is just y3, so only
+        # y3 gets a copy even though y2 also depends on x (naive behaviour).
+        formula = Dqbf.build([1], [(2, [1]), (3, [1])], [[1, 2], [-1, 3]])
+        state = state_of(formula)
+        copies = eliminate_universal(state, 1, fused=True)
+        assert 2 not in copies
+        assert 3 in copies
+
+
+class TestBatchedUnitPure:
+    @settings(max_examples=40, deadline=None)
+    @given(formula=dqbf_strategy(max_universals=3, max_existentials=3))
+    def test_batched_equals_naive(self, formula):
+        rng = random.Random(5)
+        batched_state = state_of(formula.copy())
+        naive_state = state_of(formula.copy())
+        batched_outcome = apply_unit_pure(batched_state, UnitPureStats(), batched=True)
+        naive_outcome = apply_unit_pure(naive_state, UnitPureStats(), batched=False)
+        assert batched_outcome == naive_outcome
+        # On the UNSAT short-circuit the paths may abort mid-round with
+        # different partial states; the solver discards them either way.
+        if batched_outcome is None:
+            assert set(batched_state.prefix.universals) == set(
+                naive_state.prefix.universals
+            )
+            assert set(batched_state.prefix.existentials) == set(
+                naive_state.prefix.existentials
+            )
+            support = set()
+            if batched_state.root > 1:
+                support |= batched_state.aig.support(batched_state.root)
+            if naive_state.root > 1:
+                support |= naive_state.aig.support(naive_state.root)
+            assert equivalent(
+                batched_state.aig,
+                batched_state.root,
+                naive_state.aig,
+                naive_state.root,
+                support,
+                rng,
+            )
+
+    def test_universal_unit_still_unsat(self):
+        # forall x: x & (...)  -> universal unit, immediately UNSAT.
+        formula = Dqbf.build([1], [(2, [1])], [[1], [1, 2]])
+        state = state_of(formula)
+        assert apply_unit_pure(state, UnitPureStats(), batched=True) is False
+
+
+class TestSolverEquivalence:
+    def test_fused_and_naive_agree_with_oracle(self, rng):
+        for _ in range(30):
+            formula = random_dqbf(rng)
+            expected = expansion_solve(formula.copy())
+            for fused in (True, False):
+                options = HqsOptions(use_fused_kernel=fused)
+                result = HqsSolver(options).solve(formula.copy())
+                assert result.solved
+                assert (result.status == "SAT") == expected, (
+                    f"kernel fused={fused} disagrees with oracle on {formula!r}"
+                )
+
+
+class TestKernelStats:
+    def test_solve_result_has_kernel_counters(self, rng):
+        # Preprocessing off so the AIG kernel is guaranteed to run.
+        formula = random_dqbf(rng)
+        result = HqsSolver(HqsOptions(use_preprocessing=False)).solve(formula.copy())
+        for key in (
+            "kernel_rebuild_passes",
+            "kernel_fused_passes",
+            "kernel_nodes_visited",
+            "kernel_nodes_shared",
+            "kernel_strash_lookups",
+            "kernel_strash_hits",
+            "kernel_strash_hit_rate",
+            "kernel_support_cache_hit_rate",
+            "kernel_unitpure_cache_hit_rate",
+        ):
+            assert key in result.stats, f"missing {key}"
+        assert 0.0 <= result.stats["kernel_strash_hit_rate"] <= 1.0
+
+    def test_trace_mentions_kernel(self, rng):
+        solver = HqsSolver(HqsOptions(use_preprocessing=False), trace=True)
+        solver.solve(random_dqbf(rng).copy())
+        assert any("kernel" in line for line in solver.trace)
+
+
+class TestMetadataCache:
+    def test_support_of_matches_naive_support(self):
+        rng = random.Random(6)
+        variables = [1, 2, 3, 4, 5]
+        for _ in range(25):
+            aig = Aig()
+            root = random_edge(aig, rng, variables, depth=4)
+            want = {
+                aig._input_label[n]
+                for n in aig.cone_nodes(root)
+                if aig.is_input(n)
+            }
+            assert aig.support_of(root) == frozenset(want)
+            # second query is a pure cache hit
+            before = aig.counters.support_cache_misses
+            assert aig.support_of(root) == frozenset(want)
+            assert aig.counters.support_cache_misses == before
+
+    def test_level_of(self):
+        aig = Aig()
+        a, b, c = aig.var(1), aig.var(2), aig.var(3)
+        assert aig.level_of(a) == 0
+        ab = aig.land(a, b)
+        assert aig.level_of(ab) == 1
+        assert aig.level_of(aig.land(ab, c)) == 2
+        assert aig.level_of(FALSE) == 0
+
+    def test_extract_bumps_generation_and_keeps_counters(self):
+        aig = Aig()
+        root = aig.land(aig.var(1), aig.var(2))
+        aig.support_of(root)
+        generation = aig.cache_generation
+        counters = aig.counters
+        fresh, (new_root,) = aig.extract([root])
+        assert fresh.cache_generation == generation + 1
+        assert fresh.counters is counters  # shared accounting
+        assert fresh.support_of(new_root) == frozenset({1, 2})
+
+    def test_invalidate_caches(self):
+        aig = Aig()
+        root = aig.land(aig.var(1), aig.var(2))
+        assert aig.support_of(root) == frozenset({1, 2})
+        generation = aig.cache_generation
+        aig.invalidate_caches()
+        assert aig.cache_generation == generation + 1
+        assert aig.support_of(root) == frozenset({1, 2})
+
+    def test_matrix_size_cache_invalidated_on_root_change(self):
+        formula = Dqbf.build([1], [(2, [1])], [[1, 2], [-1, 2]])
+        state = state_of(formula)
+        first = state.matrix_size()
+        assert state.matrix_size() == first  # memoized
+        state.root = state.aig.cofactor(state.root, 1, True)
+        assert state.matrix_size() == state.aig.cone_size(state.root)
+        state.root = TRUE
+        assert state.matrix_size() == 0

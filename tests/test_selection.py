@@ -5,7 +5,7 @@ import itertools
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.depgraph import incomparable_pairs, is_acyclic
+from repro.core.depgraph import is_acyclic
 from repro.core.selection import order_by_copy_cost, select_elimination_set
 from repro.formula.prefix import DependencyPrefix
 

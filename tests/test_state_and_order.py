@@ -3,7 +3,6 @@
 import pytest
 from hypothesis import given, settings
 
-from repro.aig.cnf_bridge import cnf_to_aig
 from repro.core.elimination import universal_growth_estimate
 from repro.core.hqs import HqsOptions, solve_dqbf
 from repro.core.state import AigDqbf

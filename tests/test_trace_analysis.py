@@ -1,6 +1,5 @@
 """Tests for solver tracing and prefix difficulty analysis."""
 
-import pytest
 
 from repro.core import HqsOptions, HqsSolver, analyze_prefix
 from repro.core.depgraph import PrefixAnalysis

@@ -2,8 +2,6 @@
 
 from hypothesis import given, settings
 
-from repro.aig.cnf_bridge import cnf_to_aig
-from repro.core.state import AigDqbf
 from repro.core.unitpure import UnitPureStats, apply_unit_pure
 from repro.formula.dqbf import Dqbf, expansion_solve
 
