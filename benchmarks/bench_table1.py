@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.experiments.parallel import run_records
 from repro.experiments.runner import generate_suite, run_solver
 from repro.experiments.table1 import build_table, format_table
 from repro.pec.families import FAMILIES
@@ -22,14 +23,24 @@ from repro.pec.families import FAMILIES
 EASY_FAMILIES = ("adder", "bitcell", "lookahead", "pec_xor", "z4")
 
 
+def solve_family_pool(family, solver, config):
+    """One family's pool through the configured execution strategy.
+
+    ``REPRO_BENCH_JOBS=1`` keeps the historical serial in-process path
+    (comparable to older benchmark numbers); anything larger measures
+    the fault-tolerant worker pool end to end.
+    """
+    instances = generate_suite(config, families=(family,))[family]
+    if config.jobs == 1:
+        return [run_solver(solver, inst, config) for inst in instances]
+    return run_records(instances, (solver,), config, jobs=config.jobs)
+
+
 @pytest.mark.parametrize("family", FAMILIES)
 def test_table1_family_hqs(benchmark, family, config):
-    instances = generate_suite(config, families=(family,))[family]
-
-    def solve_pool():
-        return [run_solver("HQS", inst, config) for inst in instances]
-
-    records = benchmark.pedantic(solve_pool, rounds=1, iterations=1)
+    records = benchmark.pedantic(
+        lambda: solve_family_pool(family, "HQS", config), rounds=1, iterations=1
+    )
     solved = sum(1 for r in records if r.solved)
     benchmark.extra_info["solved"] = solved
     benchmark.extra_info["instances"] = len(records)
@@ -39,12 +50,9 @@ def test_table1_family_hqs(benchmark, family, config):
 
 @pytest.mark.parametrize("family", FAMILIES)
 def test_table1_family_idq(benchmark, family, config):
-    instances = generate_suite(config, families=(family,))[family]
-
-    def solve_pool():
-        return [run_solver("IDQ", inst, config) for inst in instances]
-
-    records = benchmark.pedantic(solve_pool, rounds=1, iterations=1)
+    records = benchmark.pedantic(
+        lambda: solve_family_pool(family, "IDQ", config), rounds=1, iterations=1
+    )
     benchmark.extra_info["solved"] = sum(1 for r in records if r.solved)
     benchmark.extra_info["instances"] = len(records)
 

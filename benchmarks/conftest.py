@@ -8,6 +8,13 @@ environment variables (see ``repro.experiments.runner.BenchConfig``):
     REPRO_BENCH_COUNT      instances per family     (default 3 here)
     REPRO_BENCH_TIMEOUT    per-instance seconds     (default 3.0 here)
     REPRO_BENCH_NODELIMIT  AIG node budget          (default 200000)
+    REPRO_BENCH_SEED       suite generation seed    (default 2015)
+    REPRO_BENCH_JOBS       worker processes         (default 1 = serial)
+
+With ``REPRO_BENCH_JOBS > 1`` the suite goes through the fault-tolerant
+parallel runner (``repro.experiments.parallel``): per-instance worker
+processes, hard wall-clock kills, and crash containment, so a hanging
+solver costs one record instead of the session.
 
 The suite of (instance, solver) records is computed once per pytest
 session and shared by the Table I / Fig. 4 / ext-stats benchmarks.
@@ -39,4 +46,4 @@ def config() -> BenchConfig:
 @pytest.fixture(scope="session")
 def suite_records(config):
     """All (instance, solver) measurements for HQS and IDQ."""
-    return run_suite(config, solvers=("HQS", "IDQ"))
+    return run_suite(config, solvers=("HQS", "IDQ"), jobs=config.jobs)

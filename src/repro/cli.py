@@ -8,6 +8,13 @@ Usage::
 
 Exit codes follow the (D)QBF-solver convention: 10 = SAT, 20 = UNSAT,
 0 = inconclusive (timeout/memout).
+
+A second entry point, ``hqs-bench`` (:func:`bench_main`), drives the
+benchmark suite through the fault-tolerant parallel runner::
+
+    hqs-bench --jobs 4 --log results.jsonl           # parallel sweep
+    hqs-bench --jobs 4 --log results.jsonl --resume  # pick up where it died
+    hqs-bench --portfolio --solvers HQS,HQS_PROBE    # race configurations
 """
 
 from __future__ import annotations
@@ -111,7 +118,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.certificate and result.status == SAT:
         from .core.skolem import extract_certificate
 
-        cert_result, tables = extract_certificate(load_dqdimacs(args.file), limits)
+        # The main solve already consumed part of the budget; hand the
+        # extraction a child budget so --timeout bounds the *total* run
+        # (the extraction solver restarts the clock on the Limits it gets).
+        cert_result, tables = extract_certificate(load_dqdimacs(args.file), limits.child())
         if tables is not None:
             print("c Skolem certificate (verified):")
             for y in sorted(tables):
@@ -128,6 +138,91 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if result.status == UNSAT:
         return EXIT_UNSAT
     return EXIT_UNKNOWN
+
+
+def build_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hqs-bench",
+        description=(
+            "Run the scaled PEC benchmark suite through the fault-tolerant "
+            "parallel runner (hard timeouts, crash containment, JSONL resume)"
+        ),
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: REPRO_BENCH_JOBS or 1; 1 = serial)",
+    )
+    parser.add_argument("--log", default=None, help="JSONL result log to append to")
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip (instance, solver) pairs already recorded in --log",
+    )
+    parser.add_argument(
+        "--portfolio", action="store_true",
+        help="race all --solvers on each instance, cancel losers on first answer",
+    )
+    parser.add_argument(
+        "--solvers", default="HQS,IDQ",
+        help="comma-separated solver names (default: HQS,IDQ)",
+    )
+    parser.add_argument(
+        "--families", default=None,
+        help="comma-separated family names (default: all paper families)",
+    )
+    parser.add_argument("--scale", type=float, default=None, help="circuit size multiplier")
+    parser.add_argument("--count", type=int, default=None, help="instances per family")
+    parser.add_argument("--timeout", type=float, default=None, help="per-instance seconds")
+    parser.add_argument("--node-limit", type=int, default=None, help="AIG node budget")
+    parser.add_argument("--seed", type=int, default=None, help="suite generation seed")
+    parser.add_argument(
+        "--table", action="store_true", help="print the Table I aggregation at the end"
+    )
+    return parser
+
+
+def bench_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``hqs-bench`` console script."""
+    from .experiments.runner import BenchConfig, run_suite
+    from .pec.families import FAMILIES
+
+    args = build_bench_parser().parse_args(argv)
+    config = BenchConfig(
+        scale=args.scale,
+        count=args.count,
+        timeout=args.timeout,
+        node_limit=args.node_limit,
+        seed=args.seed,
+        jobs=args.jobs,
+    )
+    if args.resume and not args.log:
+        print("error: --resume requires --log", file=sys.stderr)
+        return 2
+    solvers = tuple(s for s in args.solvers.split(",") if s)
+    families = (
+        tuple(f for f in args.families.split(",") if f)
+        if args.families
+        else FAMILIES
+    )
+    print(f"c suite {config!r}")
+    print(f"c solvers {','.join(solvers)} families {','.join(families)}")
+    records = run_suite(
+        config,
+        solvers=solvers,
+        families=families,
+        log_path=args.log,
+        resume=args.resume,
+        portfolio=args.portfolio,
+    )
+    by_status: dict = {}
+    for record in records:
+        by_status[record.result.status] = by_status.get(record.result.status, 0) + 1
+    summary = " ".join(f"{status}={count}" for status, count in sorted(by_status.items()))
+    print(f"c records {len(records)} ({summary})")
+    if args.table:
+        from .experiments.table1 import build_table, format_table
+
+        print(format_table(build_table(records, solvers=sorted({r.solver for r in records}))))
+    return 0
 
 
 if __name__ == "__main__":

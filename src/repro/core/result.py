@@ -19,6 +19,11 @@ UNSAT = "UNSAT"
 TIMEOUT = "TIMEOUT"
 MEMOUT = "MEMOUT"
 UNKNOWN = "UNKNOWN"
+#: The solver process died (uncaught exception, signal, lost worker).
+ERROR = "ERROR"
+#: The solver returned a definitive answer contradicting the instance's
+#: known expected status — a solver bug surfaced by the harness.
+MISMATCH = "MISMATCH"
 
 
 class Limits:
@@ -38,6 +43,42 @@ class Limits:
 
     def elapsed(self) -> float:
         return time.monotonic() - self._start
+
+    def remaining(self) -> Optional[float]:
+        """Time budget left on this clock (never negative), ``None`` if unlimited."""
+        if self.time_limit is None:
+            return None
+        return max(0.0, self.time_limit - self.elapsed())
+
+    def child(
+        self,
+        time_limit: Optional[float] = None,
+        node_limit: Optional[int] = None,
+    ) -> "Limits":
+        """A fresh-clock budget bounded by what is *left* of this one.
+
+        Solvers call :meth:`restart_clock`, so handing the same
+        :class:`Limits` to a second solve silently doubles the time
+        budget.  Sequential phases (certificate extraction after the
+        main solve) and racing phases (portfolio legs started while the
+        clock runs) must instead carve a child budget out of the
+        remaining time.  Explicit ``time_limit``/``node_limit`` values
+        are capped at the parent's remaining budget, never extend it.
+        """
+        rem = self.remaining()
+        if time_limit is None:
+            child_time = rem
+        elif rem is None:
+            child_time = time_limit
+        else:
+            child_time = min(time_limit, rem)
+        if node_limit is None:
+            child_nodes = self.node_limit
+        elif self.node_limit is None:
+            child_nodes = node_limit
+        else:
+            child_nodes = min(node_limit, self.node_limit)
+        return Limits(time_limit=child_time, node_limit=child_nodes)
 
     def deadline(self) -> Optional[float]:
         """Absolute ``time.monotonic`` timestamp of the time budget, if any."""
@@ -63,8 +104,9 @@ class SolveResult:
     """Outcome of a solver run.
 
     ``status`` is one of :data:`SAT`, :data:`UNSAT`, :data:`TIMEOUT`,
-    :data:`MEMOUT`, :data:`UNKNOWN`.  ``stats`` carries solver-specific
-    counters (eliminations performed, unit/pure hits, MaxSAT time, ...).
+    :data:`MEMOUT`, :data:`UNKNOWN`, :data:`ERROR`, :data:`MISMATCH`.
+    ``stats`` carries solver-specific counters (eliminations performed,
+    unit/pure hits, MaxSAT time, ...).
     """
 
     def __init__(
@@ -80,6 +122,18 @@ class SolveResult:
     @property
     def solved(self) -> bool:
         return self.status in (SAT, UNSAT)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (used by the JSONL result log)."""
+        return {"status": self.status, "runtime": self.runtime, "stats": dict(self.stats)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SolveResult":
+        return cls(
+            status=str(data["status"]),
+            runtime=float(data.get("runtime", 0.0)),
+            stats=dict(data.get("stats") or {}),
+        )
 
     def __repr__(self) -> str:
         return f"SolveResult({self.status}, {self.runtime:.3f}s)"

@@ -9,11 +9,17 @@ maximum speedups of several orders of magnitude.
 
 Run as a module::
 
-    python -m repro.experiments.fig4 [output.csv]
+    python -m repro.experiments.fig4 [output.csv] [--jobs N] [--log results.jsonl --resume]
+
+With ``--jobs``/``--log`` the sweep goes through the fault-tolerant
+parallel runner (hard timeouts, crash containment, JSONL resume); the
+scatter itself is built from whatever records come back, so a crashed
+solver costs one point, not the figure.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 from typing import Dict, List, Optional, Sequence
 
@@ -166,20 +172,39 @@ def to_csv(points: Sequence[ScatterPoint]) -> str:
     return "\n".join([header] + [p.as_csv_row() for p in points]) + "\n"
 
 
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.fig4",
+        description="Regenerate the Fig. 4 runtime scatter (HQS vs IDQ)",
+    )
+    parser.add_argument("csv", nargs="?", default=None, help="optional CSV output path")
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: REPRO_BENCH_JOBS or 1)",
+    )
+    parser.add_argument("--log", default=None, help="JSONL result log to append to")
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip (instance, solver) pairs already recorded in --log",
+    )
+    return parser
+
+
 def main(argv: Sequence[str] = ()) -> List[ScatterPoint]:
-    config = BenchConfig()
+    args = build_parser().parse_args(list(argv))
+    config = BenchConfig(jobs=args.jobs)
     print(f"Fig. 4 reproduction with {config!r}")
-    records = run_suite(config)
+    records = run_suite(config, log_path=args.log, resume=args.resume)
     points = build_scatter(records)
     summary = scatter_summary(points)
     for key, value in summary.items():
         print(f"  {key}: {value}")
     print()
     print(ascii_scatter(points))
-    if argv:
-        with open(argv[0], "w", encoding="ascii") as handle:
+    if args.csv:
+        with open(args.csv, "w", encoding="ascii") as handle:
             handle.write(to_csv(points))
-        print(f"scatter series written to {argv[0]}")
+        print(f"scatter series written to {args.csv}")
     return points
 
 

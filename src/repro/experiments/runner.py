@@ -9,6 +9,15 @@ the benchmark harness scale without code changes:
 ``REPRO_BENCH_COUNT``        instances per family
 ``REPRO_BENCH_TIMEOUT``      per-instance time limit in seconds
 ``REPRO_BENCH_NODELIMIT``    AIG node budget
+``REPRO_BENCH_SEED``         suite generation seed (sharded workers must
+                             share it to regenerate identical suites)
+``REPRO_BENCH_JOBS``         worker processes for :func:`run_suite`
+                             (1 = serial, in-process)
+
+A solver answering against an instance's known expected status is
+recorded as a ``MISMATCH`` record rather than aborting the sweep; see
+:mod:`repro.experiments.parallel` for hard timeouts, crash containment,
+JSONL persistence/resume and portfolio racing.
 """
 
 from __future__ import annotations
@@ -19,7 +28,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..baselines.expansion import solve_expansion
 from ..baselines.idq import IdqSolver
 from ..core.hqs import HqsOptions, HqsSolver
-from ..core.result import SAT, TIMEOUT, UNSAT, Limits, SolveResult
+from ..core.result import MISMATCH, SAT, UNSAT, Limits, SolveResult
 from ..formula.dqbf import Dqbf
 from ..pec.encode import PecInstance
 from ..pec.families import FAMILIES, generate_family
@@ -50,7 +59,8 @@ class BenchConfig:
         count: Optional[int] = None,
         timeout: Optional[float] = None,
         node_limit: Optional[int] = None,
-        seed: int = 2015,
+        seed: Optional[int] = None,
+        jobs: Optional[int] = None,
     ):
         self.scale = scale if scale is not None else float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
         self.count = count if count is not None else int(os.environ.get("REPRO_BENCH_COUNT", "6"))
@@ -58,7 +68,8 @@ class BenchConfig:
         self.node_limit = node_limit if node_limit is not None else int(
             os.environ.get("REPRO_BENCH_NODELIMIT", "200000")
         )
-        self.seed = seed
+        self.seed = seed if seed is not None else int(os.environ.get("REPRO_BENCH_SEED", "2015"))
+        self.jobs = jobs if jobs is not None else int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
     def limits(self) -> Limits:
         return Limits(time_limit=self.timeout, node_limit=self.node_limit)
@@ -66,7 +77,8 @@ class BenchConfig:
     def __repr__(self) -> str:
         return (
             f"BenchConfig(scale={self.scale}, count={self.count}, "
-            f"timeout={self.timeout}s, node_limit={self.node_limit})"
+            f"timeout={self.timeout}s, node_limit={self.node_limit}, "
+            f"seed={self.seed}, jobs={self.jobs})"
         )
 
 
@@ -98,19 +110,29 @@ def run_solver(name: str, instance: PecInstance, config: BenchConfig) -> RunReco
     """Run one solver on one instance under the configured limits."""
     solver = SOLVERS[name]
     result = solver(instance.formula.copy(), config.limits())
-    _check_expected(instance, name, result)
+    result = _check_expected(instance, name, result)
     return RunRecord(instance, name, result)
 
 
-def _check_expected(instance: PecInstance, solver: str, result: SolveResult) -> None:
+def _check_expected(
+    instance: PecInstance, solver: str, result: SolveResult
+) -> SolveResult:
+    """Demote a wrong definitive answer to a ``MISMATCH`` record.
+
+    A mid-sweep exception would abort the remaining (instance, solver)
+    pairs, so a solver contradicting the instance's known status is
+    recorded and the sweep keeps going — identically on the serial and
+    parallel paths.  The solver's claimed status is preserved in
+    ``stats["claimed_sat"]``.
+    """
     if instance.expected is None or not result.solved:
-        return
+        return result
     expected_status = SAT if instance.expected else UNSAT
-    if result.status != expected_status:
-        raise AssertionError(
-            f"{solver} returned {result.status} on {instance.name}, "
-            f"expected {expected_status}"
-        )
+    if result.status == expected_status:
+        return result
+    stats = dict(result.stats)
+    stats["claimed_sat"] = 1.0 if result.status == SAT else 0.0
+    return SolveResult(MISMATCH, result.runtime, stats)
 
 
 def generate_suite(config: BenchConfig, families: Sequence[str] = FAMILIES) -> Dict[str, List[PecInstance]]:
@@ -125,8 +147,34 @@ def run_suite(
     config: BenchConfig,
     solvers: Sequence[str] = ("HQS", "IDQ"),
     families: Sequence[str] = FAMILIES,
+    jobs: Optional[int] = None,
+    log_path: Optional[str] = None,
+    resume: bool = False,
+    portfolio: bool = False,
 ) -> List[RunRecord]:
-    """Run the full comparison; returns one record per (instance, solver)."""
+    """Run the full comparison; returns one record per (instance, solver).
+
+    ``jobs`` (default ``config.jobs``) selects the execution strategy:
+    ``1`` without persistence runs serially in-process (the historical
+    behaviour); anything else delegates to
+    :func:`repro.experiments.parallel.run_suite_parallel`, which adds
+    hard wall-clock timeouts, crash containment, JSONL persistence with
+    ``resume``, and ``portfolio`` racing.  Both paths produce the same
+    set of (instance, solver, status) records.
+    """
+    jobs = config.jobs if jobs is None else jobs
+    if jobs != 1 or log_path is not None or resume or portfolio:
+        from .parallel import run_suite_parallel
+
+        return run_suite_parallel(
+            config,
+            solvers=solvers,
+            families=families,
+            jobs=jobs,
+            log_path=log_path,
+            resume=resume,
+            portfolio=portfolio,
+        )
     suite = generate_suite(config, families)
     records: List[RunRecord] = []
     for family in families:

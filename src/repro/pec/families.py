@@ -27,6 +27,7 @@ c432       grouped priority interrupt controller stand-in
 from __future__ import annotations
 
 import random
+import zlib
 from typing import List, Optional, Sequence
 
 from .circuit import Circuit, Gate
@@ -523,8 +524,13 @@ def generate_family(
 
     ``sat_fraction`` controls the realizable/unrealizable mix (the paper's
     suite is mostly UNSAT: 213 SAT / 1342 UNSAT among solved).
+
+    The per-family stream is derived with a *stable* hash (``zlib.crc32``)
+    rather than ``hash()``, whose per-process randomization would make
+    parallel/sharded workers regenerate *different* suites for the same
+    seed.
     """
-    rng = random.Random(seed ^ hash(family))
+    rng = random.Random(seed ^ zlib.crc32(family.encode("ascii")))
     instances: List[PecInstance] = []
     for index in range(count):
         buggy = rng.random() >= sat_fraction

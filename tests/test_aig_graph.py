@@ -222,6 +222,7 @@ class TestSemantics:
         assert aig.evaluate(swapped, {1: False, 2: True})
         assert not aig.evaluate(swapped, {1: True, 2: False})
 
+    @pytest.mark.slow
     def test_deep_chain_no_recursion_error(self):
         """Operations are iterative: a 5000-deep chain must not blow the stack."""
         aig = Aig()

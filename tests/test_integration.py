@@ -57,6 +57,7 @@ class TestFullPipeline:
         box = recovered.black_boxes[0]
         assert box.outputs == ["c2"]
 
+    @pytest.mark.slow
     def test_all_solvers_agree_on_family_samples(self):
         limits = Limits(time_limit=30)
         for family in ("adder", "bitcell", "pec_xor"):

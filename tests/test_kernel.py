@@ -154,9 +154,18 @@ class TestFusedElimination:
         assert equivalent(
             fused_state.aig, aligned, naive_state.aig, naive_state.root, support, rng
         )
-        # And the prefix bookkeeping must agree.
+        # And the prefix bookkeeping must agree — modulo the same copy-name
+        # alignment (the fused kernel may burn fresh numbers on copies that
+        # do not survive simplification, so the raw ids can differ).
         assert set(fused_state.prefix.universals) == set(naive_state.prefix.universals)
-        assert set(fused_state.prefix.existentials) == set(naive_state.prefix.existentials)
+        aligned_existentials = {
+            fused_to_naive.get(y, y) for y in fused_state.prefix.existentials
+        }
+        assert aligned_existentials == set(naive_state.prefix.existentials)
+        for y in fused_copies:
+            assert fused_state.prefix.dependencies(
+                fused_copies[y]
+            ) == naive_state.prefix.dependencies(naive_copies[y])
 
     def test_copies_only_for_occurring_dependents(self):
         # Matrix (x | y2) & (!x | y3): the 1-cofactor is just y3, so only

@@ -1,10 +1,13 @@
 """Tests for the one-shot report generator."""
 
+import pytest
+
 from repro.experiments.report import generate_report, main
 from repro.experiments.runner import BenchConfig
 
 
 class TestReport:
+    @pytest.mark.slow
     def test_report_contains_all_sections(self):
         config = BenchConfig(scale=1.0, count=1, timeout=5.0, node_limit=200000, seed=3)
         report = generate_report(config)

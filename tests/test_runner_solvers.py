@@ -35,6 +35,7 @@ class TestSolverRegistry:
         record = run_solver(name, sat_instance, small_config())
         assert record.result.status in (SAT, "TIMEOUT", "MEMOUT")
 
+    @pytest.mark.slow
     def test_dpll_on_tiny_instance(self):
         instance = make_pec_xor(4, 1, buggy=False, seed=63)
         record = run_solver("DPLL", instance, small_config())
