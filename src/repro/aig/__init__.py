@@ -1,8 +1,8 @@
 """And-Inverter Graph substrate (the ``aigpp`` stand-in)."""
 
 from .aiger import AigerError, load_aiger, parse_aiger, save_aiger, write_aiger
-from .cnf_bridge import aig_to_cnf, cnf_to_aig, is_satisfiable, is_tautology
-from .fraig import FraigOptions, fraig_root, simulate
+from .cnf_bridge import TseitinEncoding, aig_to_cnf, cnf_to_aig, is_satisfiable, is_tautology
+from .fraig import FraigEngine, FraigOptions, fraig_root, simulate
 from .graph import (
     FALSE,
     TRUE,
@@ -31,8 +31,10 @@ __all__ = [
     "node_of",
     "aig_to_cnf",
     "cnf_to_aig",
+    "TseitinEncoding",
     "is_satisfiable",
     "is_tautology",
+    "FraigEngine",
     "FraigOptions",
     "fraig_root",
     "simulate",

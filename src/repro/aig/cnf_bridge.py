@@ -6,16 +6,23 @@ gates (Section III-C of the paper: "we replace all literals representing
 a gate output by the function computed by its gate using the compose
 operation").
 
-``aig_to_cnf`` is the classic Tseitin encoding, used whenever a SAT call
-on an AIG is needed (FRAIG sweeping, QBF endgame, constant checks).
+``aig_to_cnf`` is the classic Tseitin encoding, used whenever a one-shot
+SAT call on an AIG is needed (QBF endgame, constant checks, the iDQ
+baseline).  Repeated queries on the same AIG should go through
+:class:`~repro.sat.incremental.AigSatSession` instead, which encodes
+lazily and keeps learned clauses; ``is_satisfiable``/``is_tautology``
+accept such a session and fall back to a throwaway solver without one.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, NamedTuple, Optional, Tuple
 
 from ..formula.cnf import Cnf
 from .graph import Aig, FALSE, TRUE, is_complemented, node_of
+
+if TYPE_CHECKING:
+    from ..sat.incremental import AigSatSession
 
 
 def cnf_to_aig(clauses: Iterable[Iterable[int]], aig: Optional[Aig] = None) -> Tuple[Aig, int]:
@@ -27,18 +34,31 @@ def cnf_to_aig(clauses: Iterable[Iterable[int]], aig: Optional[Aig] = None) -> T
     return aig, aig.land_many(clause_edges)
 
 
-def aig_to_cnf(aig: Aig, root: int, start_var: Optional[int] = None) -> Tuple[Cnf, int]:
+class TseitinEncoding(NamedTuple):
+    """Result of :func:`aig_to_cnf`: the clause set, the literal standing
+    for the root function, and the node -> CNF-variable map the encoding
+    used (input nodes map to their external labels, AND nodes to their
+    auxiliaries).  Callers needing per-node literals — FRAIG-style
+    sweeps, incremental services — read ``node_var`` directly instead of
+    re-deriving it by mirroring the cone order."""
+
+    cnf: Cnf
+    root_literal: int
+    node_var: Dict[int, int]
+
+
+def aig_to_cnf(aig: Aig, root: int, start_var: Optional[int] = None) -> TseitinEncoding:
     """Tseitin-encode the cone of ``root``.
 
-    Returns ``(cnf, root_literal)``: the CNF is equisatisfiable with the
-    function at ``root`` once ``root_literal`` is asserted (it is *not*
-    asserted by this function, so callers can encode several roots into
-    one CNF and combine them freely).  Input nodes keep their external
-    variable identifiers; internal AND nodes receive fresh variables
-    above ``start_var`` (default: the maximum input label occurring in
-    the cone — pass an explicit value whenever the caller's variable
-    space contains labels that might be absent from this particular
-    cone, otherwise auxiliaries would collide with them).
+    Returns a :class:`TseitinEncoding`; the CNF is equisatisfiable with
+    the function at ``root`` once ``root_literal`` is asserted (it is
+    *not* asserted by this function, so callers can encode several roots
+    into one CNF and combine them freely).  Input nodes keep their
+    external variable identifiers; internal AND nodes receive fresh
+    variables above ``start_var`` (default: the maximum input label
+    occurring in the cone — pass an explicit value whenever the caller's
+    variable space contains labels that might be absent from this
+    particular cone, otherwise auxiliaries would collide with them).
     """
     cone = aig.cone_nodes(root)
     max_label = start_var or 0
@@ -50,8 +70,7 @@ def aig_to_cnf(aig: Aig, root: int, start_var: Optional[int] = None) -> Tuple[Cn
     node_var: Dict[int, int] = {}
 
     def lit_for(edge: int) -> int:
-        node = node_of(edge)
-        var = node_var[node]
+        var = node_var[node_of(edge)]
         return -var if is_complemented(edge) else var
 
     for node in cone:
@@ -74,28 +93,37 @@ def aig_to_cnf(aig: Aig, root: int, start_var: Optional[int] = None) -> Tuple[Cn
     if root == TRUE:
         top = cnf.fresh_var()
         cnf.add_clause([top])
-        return cnf, top
+        return TseitinEncoding(cnf, top, node_var)
     if root == FALSE:
         top = cnf.fresh_var()
         cnf.add_clause([-top])
-        return cnf, top
-    return cnf, lit_for(root)
+        return TseitinEncoding(cnf, top, node_var)
+    return TseitinEncoding(cnf, lit_for(root), node_var)
 
 
-def is_satisfiable(aig: Aig, root: int, deadline: Optional[float] = None) -> bool:
+def is_satisfiable(
+    aig: Aig,
+    root: int,
+    deadline: Optional[float] = None,
+    session: Optional["AigSatSession"] = None,
+) -> bool:
     """SAT check of the function at ``root`` (semantic constant-0 test).
 
-    Raises :class:`repro.errors.TimeoutExceeded` when ``deadline`` (a
-    ``time.monotonic`` timestamp) passes mid-solve.
+    With a ``session`` the query runs on its persistent solver (the
+    session is rebound to ``aig`` first); otherwise a throwaway solver
+    is built.  Raises :class:`repro.errors.TimeoutExceeded` when
+    ``deadline`` (a ``time.monotonic`` timestamp) passes mid-solve.
     """
     if root == FALSE:
         return False
     if root == TRUE:
         return True
+    if session is not None:
+        return session.rebind(aig).is_satisfiable(root, deadline)
     from ..errors import TimeoutExceeded
     from ..sat.solver import SAT, UNKNOWN, CdclSolver
 
-    cnf, root_lit = aig_to_cnf(aig, root)
+    cnf, root_lit, _node_var = aig_to_cnf(aig, root)
     solver = CdclSolver()
     solver.add_clauses(cnf.clauses)
     solver.add_clause([root_lit])
@@ -105,8 +133,13 @@ def is_satisfiable(aig: Aig, root: int, deadline: Optional[float] = None) -> boo
     return status == SAT
 
 
-def is_tautology(aig: Aig, root: int, deadline: Optional[float] = None) -> bool:
+def is_tautology(
+    aig: Aig,
+    root: int,
+    deadline: Optional[float] = None,
+    session: Optional["AigSatSession"] = None,
+) -> bool:
     """Semantic constant-1 test via one SAT call on the complement."""
     from .graph import complement
 
-    return not is_satisfiable(aig, complement(root), deadline)
+    return not is_satisfiable(aig, complement(root), deadline, session)

@@ -1,26 +1,34 @@
 """FRAIG-style functional reduction by simulation and SAT sweeping.
 
 A FRAIG (Mishchenko et al.) is an AIG in which no two nodes compute the
-same function up to complement.  We approximate the classical flow:
+same function up to complement.  We follow the classical flow:
 
-1. simulate the whole graph under a batch of random input patterns,
-   hashing nodes into candidate equivalence classes by signature
-   (signatures are canonicalized up to complement);
+1. simulate the whole graph under a batch of input patterns, hashing
+   nodes into candidate equivalence classes by signature (signatures
+   are canonicalized up to complement);
 2. for each candidate pair, prove or refute equivalence with a SAT call
-   on a miter; counterexamples refine the simulation patterns;
+   on a miter; **counterexamples refine the simulation patterns** — the
+   SAT model of a refuted merge is absorbed as a new pattern bit, which
+   splits the false equivalence class and spares every later member of
+   it another wasted SAT call;
 3. rebuild the graph, replacing every node by its class representative.
 
 HQS runs this "from time to time" between elimination steps to keep the
-matrix AIG small (Section II-C).
+matrix AIG small (Section II-C).  :class:`FraigEngine` is the stateful
+form of the pass: it keeps the accumulated patterns (including absorbed
+counterexamples) and the per-node simulation words across sweep rounds,
+and drives its SAT queries through a shared
+:class:`~repro.sat.incremental.AigSatSession` so learned clauses
+persist from sweep to sweep.  :func:`fraig_root` remains the one-shot
+entry point.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..sat.solver import SAT, UNSAT, CdclSolver
-from .cnf_bridge import aig_to_cnf
+from ..sat.incremental import AigSatSession
 from .graph import Aig, FALSE, TRUE, complement, is_complemented, node_of
 
 
@@ -32,10 +40,19 @@ class FraigOptions:
         num_patterns: int = 64,
         max_sat_conflicts: int = 2000,
         seed: int = 2015,
+        use_counterexamples: bool = True,
+        max_extra_patterns: int = 256,
     ):
         self.num_patterns = num_patterns
         self.max_sat_conflicts = max_sat_conflicts
         self.seed = seed
+        # Absorb SAT models of refuted merges as new simulation patterns
+        # (classical CEGAR refinement).  Off reproduces the plain
+        # signature-only candidate scheme for comparisons.
+        self.use_counterexamples = use_counterexamples
+        # Upper bound on absorbed counterexample bits per engine, so a
+        # pathological cone cannot grow the words without limit.
+        self.max_extra_patterns = max_extra_patterns
 
 
 def simulate(aig: Aig, root: int, patterns: Dict[int, int], width: int) -> Dict[int, int]:
@@ -59,95 +76,233 @@ def simulate(aig: Aig, root: int, patterns: Dict[int, int], width: int) -> Dict[
     return words
 
 
-def fraig_root(aig: Aig, root: int, options: Optional[FraigOptions] = None) -> Tuple[Aig, int]:
-    """Functionally reduce the cone of ``root``; returns a fresh manager.
+class FraigEngine:
+    """Stateful sweeper: patterns, simulation words and SAT state persist.
 
-    The result computes the same function; equivalent (or antivalent)
-    internal nodes are merged when a SAT call proves the merge sound.
+    One engine serves many :meth:`sweep` calls.  Between calls it keeps:
+
+    * the pattern words per external variable — including every absorbed
+      counterexample bit, so a distinguishing input found in round *k*
+      keeps splitting classes in round *k+n*;
+    * the per-node simulation words of the most recent result manager —
+      when the next sweep arrives on the same manager (HQS appends
+      elimination nodes in place), only the new nodes are simulated;
+    * optionally a shared :class:`AigSatSession` whose learned clauses
+      carry across sweeps (pass one explicitly or per ``sweep`` call).
     """
-    options = options or FraigOptions()
-    if root in (TRUE, FALSE):
-        return Aig(), root
 
-    rng = random.Random(options.seed)
-    support = sorted(aig.support(root))
-    width = options.num_patterns
-    patterns = {v: rng.getrandbits(width) for v in support}
-    words = simulate(aig, root, patterns, width)
-    mask = (1 << width) - 1
+    def __init__(
+        self,
+        options: Optional[FraigOptions] = None,
+        session: Optional[AigSatSession] = None,
+    ):
+        self.options = options or FraigOptions()
+        self.session = session
+        self._rng = random.Random(self.options.seed)
+        self._patterns: Dict[int, int] = {}
+        self._width = 0
+        self.counterexamples_absorbed = 0
+        self.sweeps = 0
+        # Simulation-word cache for the manager produced by the last
+        # sweep.  Keyed by identity (plus pattern width): nodes are
+        # append-only with immutable fanins, so cached words stay valid
+        # for the lifetime of that manager object.
+        self._sim_aig: Optional[Aig] = None
+        self._sim_words: Dict[int, int] = {}
 
-    cnf, _root_lit = aig_to_cnf(aig, root)
-    solver = CdclSolver()
-    solver.add_clauses(cnf.clauses)
-    # Recover the node -> CNF variable map by re-deriving it the same way
-    # aig_to_cnf does (deterministic cone order).
-    node_var: Dict[int, int] = {}
-    max_label = max(
-        (aig.input_label(n) for n in aig.cone_nodes(root) if aig.is_input(n)),
-        default=0,
-    )
-    next_var = max_label
-    for node in aig.cone_nodes(root):
-        if node == 0:
-            next_var += 1
-            node_var[node] = next_var
-        elif aig.is_input(node):
-            node_var[node] = aig.input_label(node)
+    # ------------------------------------------------------------------
+    # pattern bookkeeping
+    # ------------------------------------------------------------------
+    def _ensure_patterns(self, labels) -> None:
+        if self._width == 0:
+            self._width = self.options.num_patterns
+        for label in labels:
+            if label not in self._patterns:
+                self._patterns[label] = self._rng.getrandbits(self._width)
+
+    def _absorb_counterexample(
+        self,
+        aig: Aig,
+        cone: List[int],
+        words: Dict[int, int],
+        assignment: Dict[int, bool],
+    ) -> None:
+        """Append the distinguishing input as one new bit to every word."""
+        self._width += 1
+        for label in self._patterns:
+            bit = 1 if assignment.get(label, False) else 0
+            self._patterns[label] = (self._patterns[label] << 1) | bit
+        bits: Dict[int, int] = {}
+        for node in cone:
+            if node == 0:
+                bit = 0
+            elif aig.is_input(node):
+                bit = 1 if assignment.get(aig.input_label(node), False) else 0
+            else:
+                f0, f1 = aig.fanins(node)
+                b0 = bits[node_of(f0)] ^ (1 if is_complemented(f0) else 0)
+                b1 = bits[node_of(f1)] ^ (1 if is_complemented(f1) else 0)
+                bit = b0 & b1
+            bits[node] = bit
+            words[node] = (words[node] << 1) | bit
+        self.counterexamples_absorbed += 1
+
+    # ------------------------------------------------------------------
+    # the sweep
+    # ------------------------------------------------------------------
+    def sweep(
+        self,
+        aig: Aig,
+        root: int,
+        session: Optional[AigSatSession] = None,
+    ) -> Tuple[Aig, int]:
+        """Functionally reduce the cone of ``root``; returns a fresh manager.
+
+        The result computes the same function; equivalent (or antivalent)
+        internal nodes are merged when a SAT call proves the merge sound.
+        """
+        options = self.options
+        if root in (TRUE, FALSE):
+            return Aig(), root
+        self.sweeps += 1
+
+        session = session or self.session
+        if session is None:
+            session = AigSatSession(aig)
         else:
-            next_var += 1
-            node_var[node] = next_var
+            session.rebind(aig)
 
-    # Candidate classes keyed by canonical signature.
-    representative: Dict[int, int] = {}  # node -> replacement edge (in new AIG terms)
-    classes: Dict[int, Tuple[int, bool]] = {}  # canon signature -> (repr node, repr phase)
+        cone = aig.cone_nodes(root)
+        self._ensure_patterns(
+            aig.input_label(n) for n in cone if aig.is_input(n)
+        )
+        # Reuse cached words when sweeping the same manager again (HQS
+        # appends elimination nodes in place between rounds); otherwise
+        # simulate the cone from scratch.
+        if aig is self._sim_aig:
+            words = self._sim_words
+        else:
+            words = {}
+        mask = (1 << self._width) - 1
+        for node in cone:
+            if node in words:
+                continue
+            if node == 0:
+                words[node] = 0
+            elif aig.is_input(node):
+                words[node] = self._patterns[aig.input_label(node)] & mask
+            else:
+                f0, f1 = aig.fanins(node)
+                w0 = words[node_of(f0)] ^ (mask if is_complemented(f0) else 0)
+                w1 = words[node_of(f1)] ^ (mask if is_complemented(f1) else 0)
+                words[node] = w0 & w1
 
-    fresh = Aig()
-    rebuilt: Dict[int, int] = {0: FALSE}
+        def canon_of(node: int) -> Tuple[int, bool]:
+            word = words[node]
+            phase = bool(word & 1)
+            return ((word ^ mask) if phase else word, phase)
 
-    def node_edge(fanin: int) -> int:
-        return rebuilt[node_of(fanin)] ^ (fanin & 1)
+        # Candidate classes keyed by canonical signature.  ``reps`` holds
+        # every registered representative so classes can be re-keyed when
+        # a counterexample changes the signatures.
+        classes: Dict[int, Tuple[int, bool]] = {}
+        reps: List[int] = []
 
-    for node in aig.cone_nodes(root):
-        if node == 0:
-            continue
-        if aig.is_input(node):
-            rebuilt[node] = fresh.var(aig.input_label(node))
-            continue
-        f0, f1 = aig.fanins(node)
-        candidate = fresh.land(node_edge(f0), node_edge(f1))
-        # canonical signature: choose phase so the lowest bit is 0
-        word = words[node]
-        phase = bool(word & 1)
-        canon = (word ^ mask) if phase else word
-        merged = False
-        if canon in classes:
-            other_node, other_phase = classes[canon]
-            # verify equivalence: node == other (xor phases) via SAT
-            same_phase = phase == other_phase
-            a, b = node_var[node], node_var[other_node]
-            eq = _prove_equal(solver, a, b, same_phase, options.max_sat_conflicts)
-            if eq:
-                other_edge = rebuilt[other_node]
-                rebuilt[node] = other_edge if same_phase else complement(other_edge)
-                merged = True
-        if not merged:
-            if canon not in classes:
-                classes[canon] = (node, phase)
-            rebuilt[node] = candidate
+        def rebuild_classes() -> None:
+            classes.clear()
+            for rep in reps:
+                canon, phase = canon_of(rep)
+                if canon not in classes:
+                    classes[canon] = (rep, phase)
 
-    new_root = rebuilt[node_of(root)] ^ (root & 1)
-    compact, (final_root,) = fresh.extract([new_root])
-    return compact, final_root
+        fresh = Aig()
+        rebuilt: Dict[int, int] = {0: FALSE}
+
+        def node_edge(fanin: int) -> int:
+            return rebuilt[node_of(fanin)] ^ (fanin & 1)
+
+        budget = options.max_extra_patterns
+
+        for node in cone:
+            if node == 0:
+                continue
+            if aig.is_input(node):
+                rebuilt[node] = fresh.var(aig.input_label(node))
+                continue
+            f0, f1 = aig.fanins(node)
+            candidate = fresh.land(node_edge(f0), node_edge(f1))
+            merged = False
+            while True:
+                canon, phase = canon_of(node)
+                entry = classes.get(canon)
+                if entry is None:
+                    break
+                other_node, other_phase = entry
+                same_phase = phase == other_phase
+                a = node << 1
+                b = (other_node << 1) | (0 if same_phase else 1)
+                verdict = session.equivalent(
+                    a, b, conflict_limit=options.max_sat_conflicts
+                )
+                if verdict:
+                    other_edge = rebuilt[other_node]
+                    rebuilt[node] = (
+                        other_edge if same_phase else complement(other_edge)
+                    )
+                    merged = True
+                    break
+                if (
+                    verdict is False
+                    and options.use_counterexamples
+                    and budget > 0
+                ):
+                    # Refuted with a model: absorb it, re-key the classes
+                    # and retry — the new bit separates this node from the
+                    # refuted representative, so the loop terminates.
+                    budget -= 1
+                    session.stats.counterexamples += 1
+                    self._absorb_counterexample(
+                        aig, cone, words, session.model_inputs()
+                    )
+                    mask = (1 << self._width) - 1
+                    rebuild_classes()
+                    continue
+                # Refuted without a usable model (conflict limit, or
+                # refinement disabled): leave the collision in place, as
+                # the signature-only scheme always did.
+                break
+            if not merged:
+                canon, phase = canon_of(node)
+                if canon not in classes:
+                    classes[canon] = (node, phase)
+                    reps.append(node)
+                rebuilt[node] = candidate
+
+        new_root = rebuilt[node_of(root)] ^ (root & 1)
+        compact, (final_root,) = fresh.extract([new_root])
+        self._cache_result_words(compact, final_root)
+        return compact, final_root
+
+    def _cache_result_words(self, compact: Aig, root: int) -> None:
+        """Pre-simulate the result manager so the next sweep on it only
+        has to simulate nodes appended after this one."""
+        self._sim_aig = compact
+        if root in (TRUE, FALSE):
+            self._sim_words = {0: 0}
+            return
+        self._sim_words = simulate(compact, root, self._patterns, self._width)
 
 
-def _prove_equal(
-    solver: CdclSolver, a: int, b: int, same_phase: bool, conflict_limit: int
-) -> bool:
-    """Prove ``a == b`` (or ``a == !b`` when not ``same_phase``) under the
-    node-consistency CNF already loaded in ``solver``."""
-    b_pos = b if same_phase else -b
-    first = solver.solve([a, -b_pos], conflict_limit=conflict_limit)
-    if first != UNSAT:
-        return False
-    second = solver.solve([-a, b_pos], conflict_limit=conflict_limit)
-    return second == UNSAT
+def fraig_root(
+    aig: Aig,
+    root: int,
+    options: Optional[FraigOptions] = None,
+    session: Optional[AigSatSession] = None,
+) -> Tuple[Aig, int]:
+    """One-shot sweep of the cone of ``root``; returns a fresh manager.
+
+    Creates a throwaway :class:`FraigEngine`; long-running callers (the
+    HQS main loop) should hold an engine instead so patterns, simulation
+    words and SAT state persist across rounds.
+    """
+    return FraigEngine(options, session=session).sweep(aig, root)

@@ -235,7 +235,7 @@ class IdqSolver:
 
         limits.check_time()
         max_var = max(universals, default=0)
-        cnf, root_lit = aig_to_cnf(matrix_aig, negated, start_var=max_var)
+        cnf, root_lit, _node_var = aig_to_cnf(matrix_aig, negated, start_var=max_var)
         solver = CdclSolver()
         solver.add_clauses(cnf.clauses)
         solver.add_clause([root_lit])

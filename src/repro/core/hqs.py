@@ -25,8 +25,9 @@ import time
 from typing import Dict, List, Optional, Set
 
 from ..aig.cnf_bridge import cnf_to_aig, is_satisfiable
-from ..aig.fraig import FraigOptions, fraig_root
-from ..aig.graph import FALSE, Aig, complement
+from ..aig.fraig import FraigEngine, FraigOptions
+from ..aig.graph import FALSE, complement
+from ..sat.incremental import AigSatSession, SatServiceStats
 from ..formula.dqbf import Dqbf
 from ..formula.lits import var_of
 from ..qbf.aigsolve import QbfSolverStats, solve_aig_qbf
@@ -60,6 +61,8 @@ class HqsOptions:
         use_qbf_backend: bool = True,
         use_sat_probe: bool = False,
         use_fused_kernel: bool = True,
+        use_sat_session: bool = True,
+        sat_session_max_clauses: int = 200_000,
         elimination_order: str = "copies",
         fraig_interval: int = 0,
         compact_ratio: int = 4,
@@ -79,6 +82,13 @@ class HqsOptions:
         # reference path, kept for equivalence tests and the kernel
         # benchmark's before/after comparison.
         self.use_fused_kernel = use_fused_kernel
+        # One persistent AigSatSession for every SAT query of the run
+        # (FRAIG miters, constant checks, endgames): learned clauses and
+        # Tseitin encodings survive across sweeps and elimination
+        # rounds.  Off = the historical fresh-solver-per-query
+        # discipline, kept for the satsweep benchmark's baseline.
+        self.use_sat_session = use_sat_session
+        self.sat_session_max_clauses = sat_session_max_clauses
         # "copies" orders elimination candidates by the number of
         # existential copies (the paper's heuristic); "growth" by the
         # estimated AIG duplication (the conclusion's future-work
@@ -105,6 +115,8 @@ class HqsSolver:
         self.trace: List[str] = []
         self._tracing = trace
         self._kernel_counters = None
+        self._sat_session: Optional[AigSatSession] = None
+        self._fraig_engine: Optional[FraigEngine] = None
 
     def _trace(self, message: str) -> None:
         if self._tracing:
@@ -118,6 +130,8 @@ class HqsSolver:
         self.trace = []
         start = time.monotonic()
         self._kernel_counters = None
+        self._sat_session = None
+        self._fraig_engine = None
         try:
             answer = self._solve_inner(formula, limits)
             status = SAT if answer else UNSAT
@@ -127,6 +141,7 @@ class HqsSolver:
             status = MEMOUT
         finally:
             self._export_kernel_stats()
+            self._export_sat_stats()
         runtime = time.monotonic() - start
         return SolveResult(status, runtime, dict(self.stats))
 
@@ -159,6 +174,15 @@ class HqsSolver:
         # Kernel counters live on the AIG manager and survive compaction
         # (extract shares the object); keep a handle for stats export.
         self._kernel_counters = state.aig.counters
+        # One SAT session serves every query of the run.  With
+        # use_sat_session=False it degrades to a fresh solver per query
+        # while keeping the same counters (the benchmark baseline).
+        self._sat_session = AigSatSession(
+            state.aig,
+            persistent=options.use_sat_session,
+            max_clauses=options.sat_session_max_clauses,
+        )
+        self._fraig_engine = FraigEngine(FraigOptions())
         self.stats["initial_matrix_size"] = state.matrix_size()
         if state.root > 1:
             self.stats["initial_matrix_level"] = state.aig.level_of(state.root)
@@ -193,6 +217,8 @@ class HqsSolver:
             )
             self.stats["maxsat_time"] = selection.maxsat_time
             self.stats["maxsat_pairs"] = selection.num_pairs
+            self.stats["maxsat_conflicts"] = selection.conflicts
+            self.stats["maxsat_decisions"] = selection.decisions
             self.stats["selected_universals"] = len(elimination_pool)
 
         fraig_countdown = options.fraig_interval
@@ -241,7 +267,9 @@ class HqsSolver:
                 # Pure SAT endgame.
                 self._export_eliminations(eliminations)
                 self._trace("no universals left: SAT endgame")
-                return is_satisfiable(state.aig, state.root, limits.deadline())
+                return is_satisfiable(
+                    state.aig, state.root, limits.deadline(), self._sat_session
+                )
 
             if is_acyclic(state.prefix):
                 self._export_eliminations(eliminations)
@@ -257,6 +285,7 @@ class HqsSolver:
                         stats=qbf_stats,
                         compact_ratio=options.compact_ratio,
                         fused=options.use_fused_kernel,
+                        sat_session=self._sat_session,
                     )
                     self.stats.update(
                         {f"qbf_{k}": v for k, v in qbf_stats.as_dict().items()}
@@ -335,23 +364,31 @@ class HqsSolver:
         branch = state.aig.compose(
             state.root, {x: FALSE for x in state.prefix.universals}
         )
-        return is_satisfiable(state.aig, branch, limits.deadline())
+        return is_satisfiable(
+            state.aig, branch, limits.deadline(), self._sat_session
+        )
 
     def _maybe_compact(self, state: AigDqbf) -> None:
         live = state.matrix_size()
         if state.aig.num_nodes > self.options.compact_ratio * max(live, 64):
             state.compact()
+            if self._sat_session is not None:
+                self._sat_session.rebind(state.aig)
 
     def _fraig(self, state: AigDqbf) -> None:
         counters = state.aig.counters
         generation = state.aig.cache_generation
-        fresh, root = fraig_root(state.aig, state.root, FraigOptions())
+        fresh, root = self._fraig_engine.sweep(
+            state.aig, state.root, session=self._sat_session
+        )
         # FRAIG rebuilds into a brand-new manager: keep accumulating
         # kernel work in the same counters and advance the generation.
         fresh.counters = counters
         fresh.cache_generation = generation + 1
         state.aig = fresh
         state.root = root
+        if self._sat_session is not None:
+            self._sat_session.rebind(fresh)
 
     def _next_universal(self, state: AigDqbf, candidates: List[int]) -> int:
         if self.options.elimination_order == "growth":
@@ -409,6 +446,27 @@ class HqsSolver:
             f"{raw['nodes_shared']} shared, "
             f"strash hit rate {self.stats['kernel_strash_hit_rate']:.2f}"
         )
+
+    def _export_sat_stats(self) -> None:
+        """Publish the SAT session counters as ``sat_*`` stats fields."""
+        session = self._sat_session
+        if session is None:
+            return
+        raw: SatServiceStats = session.stats
+        for key, value in raw.as_dict().items():
+            self.stats[f"sat_{key}"] = value
+        self.stats["sat_session_persistent"] = int(session.persistent)
+        if self._fraig_engine is not None:
+            self.stats["sat_fraig_sweeps"] = self._fraig_engine.sweeps
+        if raw.queries:
+            self._trace(
+                f"sat service: {raw.queries} queries "
+                f"({raw.sat_answers} SAT / {raw.unsat_answers} UNSAT), "
+                f"{raw.conflicts} conflicts, "
+                f"{raw.clauses_encoded} clauses encoded, "
+                f"{raw.encode_cache_hits} encode cache hits, "
+                f"{raw.counterexamples} counterexamples absorbed"
+            )
 
 
 def solve_dqbf(

@@ -105,8 +105,16 @@ class SolveResult:
 
     ``status`` is one of :data:`SAT`, :data:`UNSAT`, :data:`TIMEOUT`,
     :data:`MEMOUT`, :data:`UNKNOWN`, :data:`ERROR`, :data:`MISMATCH`.
-    ``stats`` carries solver-specific counters (eliminations performed,
-    unit/pure hits, MaxSAT time, ...).
+    ``stats`` carries solver-specific counters grouped by prefix:
+    ``pre_*`` (CNF preprocessing), ``maxsat_*`` (elimination-set
+    selection, incl. ``maxsat_conflicts``/``maxsat_decisions``),
+    ``kernel_*`` (AIG kernel work, see
+    :class:`~repro.aig.graph.KernelCounters`), ``sat_*`` (the
+    incremental SAT service, see
+    :class:`~repro.sat.incremental.SatServiceStats` — queries,
+    conflicts, clauses encoded, encode cache hits, learned-clause
+    reuse, counterexamples absorbed), ``qbf_*`` (the QBF back-end) and
+    the elimination/unit-pure counts.
     """
 
     def __init__(

@@ -22,12 +22,26 @@ from .depgraph import incomparable_pairs
 
 
 class SelectionResult:
-    """Universal variables to eliminate, plus bookkeeping for statistics."""
+    """Universal variables to eliminate, plus bookkeeping for statistics.
 
-    def __init__(self, variables: List[int], num_pairs: int, maxsat_time: float):
+    ``conflicts``/``decisions`` mirror the underlying
+    :class:`~repro.maxsat.solver.MaxSatResult` search effort and are
+    exported by HQS as ``maxsat_conflicts``/``maxsat_decisions``.
+    """
+
+    def __init__(
+        self,
+        variables: List[int],
+        num_pairs: int,
+        maxsat_time: float,
+        conflicts: int = 0,
+        decisions: int = 0,
+    ):
         self.variables = variables
         self.num_pairs = num_pairs
         self.maxsat_time = maxsat_time
+        self.conflicts = conflicts
+        self.decisions = decisions
 
     def __repr__(self) -> str:
         return f"SelectionResult({self.variables}, pairs={self.num_pairs})"
@@ -65,7 +79,13 @@ def select_elimination_set(prefix: DependencyPrefix) -> SelectionResult:
         raise AssertionError("elimination-set MaxSAT instance must be satisfiable")
     chosen = [x for x in universals if result.model.get(index[x], False)]
     elapsed = time.monotonic() - start
-    return SelectionResult(chosen, len(pairs), elapsed)
+    return SelectionResult(
+        chosen,
+        len(pairs),
+        elapsed,
+        conflicts=result.conflicts,
+        decisions=result.decisions,
+    )
 
 
 def order_by_copy_cost(

@@ -9,36 +9,83 @@ the relaxation variables and searches the optimum from below: assume
 This search direction is ideal for the HQS use case (Section III-A of
 the paper): the optimum — the number of universal variables that must be
 eliminated — is usually tiny, so the first few iterations settle it.
+Two shortcuts avoid wasted encoding work on those easy optima: if the
+model of the initial hard-clause solve already satisfies every soft
+clause the answer is 0 with no relaxation at all, and bound 0 is checked
+by directly assuming every relaxation variable false, so the totalizer
+is only built once the optimum is known to be positive.
+
+The linear search is warm-started by construction: one solver session
+spans all bounds, so clauses learned refuting ``<= k`` carry into the
+``<= k+1`` attempt.  An external solver (e.g. one owned by an
+:class:`~repro.sat.incremental.AigSatSession`) can be injected to extend
+that sharing across MaxSAT calls.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..sat.solver import SAT, UNSAT, CdclSolver
 from .totalizer import Totalizer
 
 
 class MaxSatResult:
-    """Optimum and model of a partial MaxSAT call."""
+    """Optimum and model of a partial MaxSAT call.
 
-    def __init__(self, satisfiable: bool, cost: int, model: Dict[int, bool]):
+    Besides the classic ``(satisfiable, cost, model)`` triple the result
+    reports the search effort: ``conflicts``/``decisions`` summed over
+    every SAT call, ``bounds_tried`` in search order, and
+    ``per_bound_conflicts`` mapping each tried bound to the conflicts
+    its solve cost (the hard-clause feasibility check is bound ``-1``).
+    ``totalizer_built`` records whether the search ever needed the
+    cardinality encoding.
+    """
+
+    def __init__(
+        self,
+        satisfiable: bool,
+        cost: int,
+        model: Dict[int, bool],
+        conflicts: int = 0,
+        decisions: int = 0,
+        per_bound_conflicts: Optional[Dict[int, int]] = None,
+        totalizer_built: bool = False,
+    ):
         self.satisfiable = satisfiable
         self.cost = cost
         self.model = model
+        self.conflicts = conflicts
+        self.decisions = decisions
+        self.per_bound_conflicts = per_bound_conflicts or {}
+        self.totalizer_built = totalizer_built
+
+    @property
+    def bounds_tried(self) -> List[int]:
+        return sorted(self.per_bound_conflicts)
 
     def __repr__(self) -> str:
         status = "SAT" if self.satisfiable else "UNSAT"
-        return f"MaxSatResult({status}, cost={self.cost})"
+        return (
+            f"MaxSatResult({status}, cost={self.cost}, "
+            f"conflicts={self.conflicts})"
+        )
 
 
 class PartialMaxSatSolver:
-    """Accumulate hard/soft clauses, then :meth:`solve`."""
+    """Accumulate hard/soft clauses, then :meth:`solve`.
 
-    def __init__(self) -> None:
+    ``solver`` injects an existing :class:`CdclSolver` (it must not hold
+    conflicting unit assumptions; its clause database and learned
+    clauses are reused and extended).  Without one a private solver is
+    created per :meth:`solve` call.
+    """
+
+    def __init__(self, solver: Optional[CdclSolver] = None) -> None:
         self._hard: List[List[int]] = []
         self._soft: List[List[int]] = []
         self._max_var = 0
+        self._injected = solver
 
     def add_hard(self, clause: Iterable[int]) -> None:
         clause = list(clause)
@@ -59,16 +106,55 @@ class PartialMaxSatSolver:
 
     def solve(self) -> MaxSatResult:
         """Return the minimum number of violated soft clauses and a model."""
-        solver = CdclSolver()
+        solver = self._injected if self._injected is not None else CdclSolver()
         solver.ensure_vars(self._max_var)
         for clause in self._hard:
             solver.add_clause(clause)
 
-        if solver.solve() == UNSAT:
-            return MaxSatResult(False, len(self._soft), {})
+        per_bound: Dict[int, int] = {}
+        totals = {"conflicts": 0, "decisions": 0}
+
+        def timed_solve(bound: int, assumptions: Sequence[int] = ()) -> str:
+            before = solver.statistics
+            status = solver.solve(assumptions)
+            after = solver.statistics
+            spent = after["conflicts"] - before["conflicts"]
+            per_bound[bound] = per_bound.get(bound, 0) + spent
+            totals["conflicts"] += spent
+            totals["decisions"] += after["decisions"] - before["decisions"]
+            return status
+
+        def result(satisfiable: bool, cost: int, model: Dict[int, bool],
+                   totalizer_built: bool) -> MaxSatResult:
+            return MaxSatResult(
+                satisfiable,
+                cost,
+                model,
+                conflicts=totals["conflicts"],
+                decisions=totals["decisions"],
+                per_bound_conflicts=dict(per_bound),
+                totalizer_built=totalizer_built,
+            )
+
+        # Bound -1: plain feasibility of the hard clauses.
+        if timed_solve(-1) == UNSAT:
+            return result(False, len(self._soft), {}, False)
+        model = solver.model()
 
         if not self._soft:
-            return MaxSatResult(True, 0, solver.model())
+            return result(True, 0, model, False)
+
+        def violated(assignment: Dict[int, bool]) -> int:
+            return sum(
+                0
+                if any((lit > 0) == assignment.get(abs(lit), False) for lit in c)
+                else 1
+                for c in self._soft
+            )
+
+        # Shortcut 1: the feasibility model may already be optimal.
+        if violated(model) == 0:
+            return result(True, 0, model, False)
 
         relax: List[int] = []
         for clause in self._soft:
@@ -76,21 +162,29 @@ class PartialMaxSatSolver:
             relax.append(r)
             solver.add_clause(list(clause) + [r])
 
+        # Shortcut 2: bound 0 needs no cardinality encoding — assume
+        # every relaxation variable false directly; the relaxed solver's
+        # model is final if it succeeds.
+        if timed_solve(0, [-r for r in relax]) == SAT:
+            return result(True, 0, solver.model(), False)
+
         totalizer = Totalizer(relax, solver.new_var, solver.add_clause)
-        for bound in range(len(self._soft) + 1):
+        for bound in range(1, len(self._soft) + 1):
             assumptions = totalizer.at_most_assumption(bound)
-            if solver.solve(assumptions) == SAT:
-                return MaxSatResult(True, bound, solver.model())
+            if timed_solve(bound, assumptions) == SAT:
+                return result(True, bound, solver.model(), True)
         raise AssertionError("hard clauses satisfiable but no bound admitted a model")
 
 
 def solve_partial_maxsat(
-    hard: Iterable[Iterable[int]], soft: Iterable[Iterable[int]]
+    hard: Iterable[Iterable[int]],
+    soft: Iterable[Iterable[int]],
+    solver: Optional[CdclSolver] = None,
 ) -> MaxSatResult:
     """One-shot convenience wrapper."""
-    solver = PartialMaxSatSolver()
+    maxsat = PartialMaxSatSolver(solver=solver)
     for clause in hard:
-        solver.add_hard(clause)
+        maxsat.add_hard(clause)
     for clause in soft:
-        solver.add_soft(clause)
-    return solver.solve()
+        maxsat.add_soft(clause)
+    return maxsat.solve()

@@ -137,7 +137,7 @@ def encode_pec_with_map(spec: Circuit, impl: Circuit) -> Tuple[Dqbf, PecVariable
     # --- CNF + prefix ---------------------------------------------------------
     # Tseitin auxiliaries must start above *all* allocated variables, not
     # just those surviving in the (possibly simplified) matrix cone.
-    cnf, root_lit = aig_to_cnf(aig, matrix_edge, start_var=next_var - 1)
+    cnf, root_lit, _node_var = aig_to_cnf(aig, matrix_edge, start_var=next_var - 1)
     cnf.add_clause([root_lit])
 
     prefix = DependencyPrefix()

@@ -21,6 +21,7 @@ from ..aig.unitpure import detect_unit_pure
 from ..core.result import Limits
 from ..formula.prefix import EXISTS, FORALL, BlockedPrefix
 from ..formula.qbf import Qbf
+from ..sat.incremental import AigSatSession
 
 
 class QbfSolverStats:
@@ -45,6 +46,7 @@ def solve_aig_qbf(
     stats: Optional[QbfSolverStats] = None,
     compact_ratio: int = 4,
     fused: bool = True,
+    sat_session: Optional[AigSatSession] = None,
 ) -> bool:
     """Decide the QBF given by ``prefix`` over the function at ``root``.
 
@@ -56,6 +58,11 @@ def solve_aig_qbf(
     quantification, batched ``restrict`` for unit/pure); the naive path
     rebuilds the full cone once per cofactor and is kept for kernel
     comparisons.
+
+    ``sat_session`` routes the SAT endgames through a persistent
+    incremental solver (HQS hands down the session it used during
+    elimination, so clauses learned there keep working here); without
+    one each endgame builds a throwaway solver.
     """
     limits = limits or Limits()
     stats = stats if stats is not None else QbfSolverStats()
@@ -73,6 +80,8 @@ def solve_aig_qbf(
         if aig.num_nodes > compact_ratio * max(live, 64):
             fresh, (root,) = aig.extract([root])
             aig = fresh
+            if sat_session is not None:
+                sat_session.rebind(aig)
         limits.check_nodes(aig.cone_size(root))
 
         support = aig.support_of(root)
@@ -91,13 +100,13 @@ def solve_aig_qbf(
         if not blocks:
             # No quantified variables left but non-constant matrix cannot
             # happen for closed formulas; treat defensively via SAT.
-            return is_satisfiable(aig, root, limits.deadline())
+            return is_satisfiable(aig, root, limits.deadline(), sat_session)
         if len(blocks) == 1:
             quantifier, _variables = blocks[0]
             stats.sat_endgames += 1
             if quantifier == EXISTS:
-                return is_satisfiable(aig, root, limits.deadline())
-            return is_tautology(aig, root, limits.deadline())
+                return is_satisfiable(aig, root, limits.deadline(), sat_session)
+            return is_tautology(aig, root, limits.deadline(), sat_session)
 
         quantifier, variables = prefix.innermost_block()
         var = _cheapest_variable(aig, root, variables)

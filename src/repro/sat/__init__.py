@@ -1,5 +1,7 @@
-"""SAT solving substrate: a CDCL solver and a DPLL test oracle."""
+"""SAT solving substrate: a CDCL solver, an incremental AIG-bound
+session service, and a DPLL test oracle."""
 
+from .incremental import AigSatSession, SatServiceStats
 from .simple import count_models, dpll_solve
 from .solver import SAT, UNKNOWN, UNSAT, CdclSolver, solve_cnf
 
@@ -8,6 +10,8 @@ __all__ = [
     "UNSAT",
     "UNKNOWN",
     "CdclSolver",
+    "AigSatSession",
+    "SatServiceStats",
     "solve_cnf",
     "dpll_solve",
     "count_models",

@@ -164,6 +164,11 @@ class CdclSolver:
         Returns :data:`SAT`, :data:`UNSAT`, or :data:`UNKNOWN` when the
         optional ``conflict_limit`` was exhausted or the wall-clock
         ``deadline`` (a ``time.monotonic`` timestamp) passed.
+
+        ``conflict_limit`` is a *per-call* budget: it counts conflicts
+        from this call's entry, not over the solver's lifetime, so
+        incremental sessions issuing many limited queries are not
+        starved by earlier work.
         """
         if not self._ok:
             return UNSAT
@@ -175,7 +180,7 @@ class CdclSolver:
         assumption_encs = [_encode(lit) for lit in assumptions]
 
         restarts = 0
-        budget = conflict_limit if conflict_limit is not None else -1
+        budget = self._conflicts + conflict_limit if conflict_limit is not None else -1
         import time as _time
 
         while True:

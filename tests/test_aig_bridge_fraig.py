@@ -62,7 +62,7 @@ class TestAigToCnf:
             return
         # start_var keeps auxiliaries clear of vars 1..3 even when some
         # variable does not occur in the cone
-        cnf, root_lit = aig_to_cnf(aig, e, start_var=max(variables))
+        cnf, root_lit, node_var = aig_to_cnf(aig, e, start_var=max(variables))
         for values in itertools.product([False, True], repeat=3):
             assignment = dict(zip(variables, values))
             unit_clauses = [[v if val else -v] for v, val in assignment.items()]
@@ -71,9 +71,9 @@ class TestAigToCnf:
 
     def test_constant_roots(self):
         aig = Aig()
-        cnf_t, lit_t = aig_to_cnf(aig, TRUE)
+        cnf_t, lit_t, _ = aig_to_cnf(aig, TRUE)
         assert brute_sat(cnf_t.clauses + [[lit_t]])
-        cnf_f, lit_f = aig_to_cnf(aig, FALSE)
+        cnf_f, lit_f, _ = aig_to_cnf(aig, FALSE)
         assert not brute_sat(cnf_f.clauses + [[lit_f]])
 
     def test_start_var_prevents_collisions(self):
@@ -82,7 +82,7 @@ class TestAigToCnf:
         aig = Aig()
         e = aig.land(aig.var(1), aig.var(2))
         # variable space extends to 10, but the cone only mentions 1, 2
-        cnf, root_lit = aig_to_cnf(aig, e, start_var=10)
+        cnf, root_lit, node_var = aig_to_cnf(aig, e, start_var=10)
         for clause in cnf.clauses:
             for lit in clause:
                 assert abs(lit) in (1, 2) or abs(lit) > 10

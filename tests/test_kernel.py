@@ -255,6 +255,32 @@ class TestKernelStats:
         solver.solve(random_dqbf(rng).copy())
         assert any("kernel" in line for line in solver.trace)
 
+    def test_sat_service_counters_on_both_kernel_paths(self, rng):
+        # The incremental SAT service is orthogonal to the kernel choice:
+        # sat_* counters must appear on the fused and the naive path alike.
+        formula = random_dqbf(rng)
+        for fused in (True, False):
+            options = HqsOptions(use_preprocessing=False, use_fused_kernel=fused)
+            result = HqsSolver(options).solve(formula.copy())
+            for key in (
+                "sat_queries",
+                "sat_conflicts",
+                "sat_clauses_encoded",
+                "sat_encode_cache_hits",
+                "sat_learnts_reused",
+                "sat_counterexamples",
+                "sat_rebinds",
+                "sat_session_persistent",
+            ):
+                assert key in result.stats, f"missing {key} (fused={fused})"
+            assert result.stats["sat_session_persistent"] == 1
+
+    def test_sat_session_disabled_still_exports_counters(self, rng):
+        options = HqsOptions(use_preprocessing=False, use_sat_session=False)
+        result = HqsSolver(options).solve(random_dqbf(rng).copy())
+        assert result.stats["sat_session_persistent"] == 0
+        assert "sat_queries" in result.stats
+
 
 class TestMetadataCache:
     def test_support_of_matches_naive_support(self):

@@ -88,6 +88,60 @@ class TestPartialMaxSat:
         model = result.model
         assert (model.get(1) or model.get(2)) and ((not model.get(1)) or model.get(3))
 
+    def test_shortcut_skips_totalizer_when_feasibility_model_optimal(self):
+        # the hard unit forces the only soft, so the feasibility model is
+        # already optimal: no relaxation, no bound search
+        result = solve_partial_maxsat(hard=[[1]], soft=[[1]])
+        assert result.cost == 0
+        assert not result.totalizer_built
+        assert result.bounds_tried == [-1]
+
+    def test_bound_zero_shortcut_skips_totalizer(self):
+        # x1 must hold; the feasibility model may violate soft [-2] (2 is
+        # free), but assuming all relaxation literals false still finds a
+        # cost-0 model — the totalizer is never built.
+        result = solve_partial_maxsat(hard=[[1], [2, 3]], soft=[[-1, 2], [3]])
+        assert result.satisfiable and result.cost == 0
+        assert not result.totalizer_built
+
+    def test_totalizer_built_for_positive_optimum(self):
+        result = solve_partial_maxsat(hard=[[-1, -2], [1, 2]], soft=[[1], [2]])
+        assert result.cost == 1
+        assert result.totalizer_built
+        assert result.bounds_tried[-1] == 1
+
+    def test_per_bound_conflicts_accounting(self):
+        result = solve_partial_maxsat(
+            hard=[[-1, -2], [-1, -3], [-2, -3]], soft=[[1], [2], [3]]
+        )
+        assert result.cost == 2
+        # bound -1 is the hard feasibility check; every tried bound has an
+        # entry and the totals tie out
+        assert -1 in result.per_bound_conflicts
+        assert result.conflicts == sum(result.per_bound_conflicts.values())
+        assert result.conflicts >= 0 and result.decisions >= 0
+
+    def test_injected_solver_is_reused_and_extended(self):
+        solver = CdclSolver()
+        base = solver.num_vars
+        result = solve_partial_maxsat(
+            hard=[[-1, -2], [1, 2]], soft=[[1], [2]], solver=solver
+        )
+        assert result.cost == 1
+        # relaxation + totalizer variables were allocated on the injected
+        # solver, and its clause database kept the encoding
+        assert solver.num_vars > max(base, 2)
+        assert solver.solve() == SAT
+
+    def test_injected_solver_shares_across_calls(self):
+        solver = CdclSolver()
+        first = solve_partial_maxsat(hard=[[1]], soft=[[-1]], solver=solver)
+        assert first.cost == 1
+        conflicts_after_first = solver.statistics["conflicts"]
+        second = solve_partial_maxsat(hard=[[2]], soft=[[2]], solver=solver)
+        assert second.cost == 0
+        assert solver.statistics["conflicts"] >= conflicts_after_first
+
     @settings(max_examples=60, deadline=None)
     @given(st.data())
     def test_matches_brute_force(self, data):
