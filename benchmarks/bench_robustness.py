@@ -1,0 +1,167 @@
+"""Robustness benchmark: guard overhead and tiny-budget stress smoke.
+
+Two guarantees of the graceful-degradation core are measured here:
+
+1. **The cooperative guard is cheap.**  Every inner loop calls
+   ``ResourceGuard.check()`` (one ``time.monotonic()`` + compares), so
+   its total cost is ``guard_checks x per-check cost``.  The benchmark
+   times the check in isolation, multiplies by the per-solve check
+   count, and asserts the product stays **under 5% of the solve time**
+   on the kernel-benchmark families.
+
+2. **Tiny budgets never produce tracebacks.**  A stress sweep runs
+   every registered solver under absurdly small time/node budgets; each
+   run must return ``SAT``/``UNSAT`` or a diagnosed ``UNKNOWN`` — any
+   escaping exception fails the sweep.
+
+Run under pytest (``pytest benchmarks/bench_robustness.py``) or
+standalone::
+
+    PYTHONPATH=src python benchmarks/bench_robustness.py
+
+``REPRO_BENCH_KERNEL_QUICK=1`` shrinks the instances for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List
+
+from repro.core.guard import ResourceGuard
+from repro.core.hqs import HqsSolver
+from repro.core.result import Limits, SAT, UNKNOWN, UNSAT
+from repro.experiments.runner import SOLVERS
+from repro.pec.families import make_adder, make_bitcell, make_comp, make_pec_xor
+
+QUICK = os.environ.get("REPRO_BENCH_KERNEL_QUICK", "") not in ("", "0")
+TIMEOUT = float(os.environ.get("REPRO_BENCH_TIMEOUT", "5.0" if QUICK else "30.0"))
+OVERHEAD_BUDGET = 0.05  # guard cost must stay under 5% of solve time
+
+
+def family_instances():
+    """The kernel benchmark's families (smaller in quick mode)."""
+    if QUICK:
+        return [
+            ("adder", make_adder(3, 2, False, seed=5)),
+            ("pec_xor", make_pec_xor(6, 2, False, seed=1)),
+            ("bitcell", make_bitcell(3, 2, False, seed=3)),
+        ]
+    return [
+        ("adder", make_adder(5, 2, False, seed=5)),
+        ("pec_xor", make_pec_xor(10, 2, False, seed=1)),
+        ("bitcell", make_bitcell(4, 2, False, seed=3)),
+        ("comp", make_comp(4, 2, False, seed=7)),
+    ]
+
+
+def measure_check_cost(samples: int = 200_000) -> float:
+    """Seconds per ``ResourceGuard.check()`` call, measured in isolation."""
+    guard = ResourceGuard(time_limit=3600.0, conflict_limit=10**9)
+    start = time.perf_counter()
+    for _ in range(samples):
+        guard.check()
+    return (time.perf_counter() - start) / samples
+
+
+def run_overhead_report() -> List[Dict[str, float]]:
+    per_check = measure_check_cost()
+    rows = []
+    for name, instance in family_instances():
+        solver = HqsSolver()
+        start = time.monotonic()
+        result = solver.solve(instance.formula.copy(), Limits(time_limit=TIMEOUT))
+        elapsed = time.monotonic() - start
+        checks = result.stats.get("guard_checks", 0)
+        guard_cost = checks * per_check
+        rows.append(
+            {
+                "family": name,
+                "status": result.status,
+                "solve_time": elapsed,
+                "guard_checks": checks,
+                "per_check_us": per_check * 1e6,
+                "guard_cost": guard_cost,
+                "overhead": guard_cost / max(elapsed, 1e-9),
+            }
+        )
+    return rows
+
+
+def print_overhead_report(rows) -> None:
+    print("\nguard overhead (checks x isolated per-check cost vs solve time)")
+    print(
+        f"  {'family':<10} {'status':>7} {'solve':>9} {'checks':>9} "
+        f"{'us/check':>9} {'overhead':>9}"
+    )
+    for row in rows:
+        print(
+            f"  {row['family']:<10} {row['status']:>7} {row['solve_time']:>8.3f}s "
+            f"{row['guard_checks']:>9.0f} {row['per_check_us']:>9.3f} "
+            f"{row['overhead']:>8.2%}"
+        )
+
+
+def test_guard_overhead_under_budget():
+    """Acceptance: guard bookkeeping costs < 5% of solve time per family."""
+    rows = run_overhead_report()
+    print_overhead_report(rows)
+    for row in rows:
+        assert row["status"] in (SAT, UNSAT), (
+            f"family {row['family']} did not finish under the benchmark "
+            f"timeout ({row['status']}); overhead ratio would be meaningless"
+        )
+        assert row["overhead"] < OVERHEAD_BUDGET, (
+            f"family {row['family']}: guard overhead {row['overhead']:.2%} "
+            f"exceeds {OVERHEAD_BUDGET:.0%} "
+            f"({row['guard_checks']:.0f} checks x {row['per_check_us']:.3f} us)"
+        )
+
+
+# Every budget carries a time limit: a node-only budget would never
+# stop the search-based solvers (DPLL, IDQ), which track no AIG nodes.
+STRESS_BUDGETS = (
+    Limits(time_limit=0.0),
+    Limits(time_limit=0.05),
+    Limits(time_limit=2.0, node_limit=100),
+    Limits(time_limit=0.2, node_limit=1000),
+)
+
+
+def test_tiny_budget_stress_no_tracebacks():
+    """Every solver, every tiny budget: an answer or a diagnosed UNKNOWN."""
+    instances = family_instances()
+    failures = []
+    for solver_name, solver in sorted(SOLVERS.items()):
+        for family, instance in instances:
+            for limits in STRESS_BUDGETS:
+                try:
+                    result = solver(instance.formula.copy(), limits)
+                except Exception as exc:  # noqa: BLE001 - the point of the test
+                    failures.append(f"{solver_name}/{family}/{limits}: raised {exc!r}")
+                    continue
+                if result.status not in (SAT, UNSAT, UNKNOWN):
+                    failures.append(
+                        f"{solver_name}/{family}/{limits}: status {result.status}"
+                    )
+                elif result.status == UNKNOWN and result.failure is None:
+                    failures.append(
+                        f"{solver_name}/{family}/{limits}: UNKNOWN without diagnosis"
+                    )
+    assert not failures, "\n".join(failures)
+
+
+def main() -> None:
+    rows = run_overhead_report()
+    print_overhead_report(rows)
+    worst = max(rows, key=lambda r: r["overhead"])
+    print(
+        f"\nworst-case overhead: {worst['overhead']:.2%} ({worst['family']}); "
+        f"budget {OVERHEAD_BUDGET:.0%}"
+    )
+    test_tiny_budget_stress_no_tracebacks()
+    print("tiny-budget stress sweep: no tracebacks, all verdicts diagnosed")
+
+
+if __name__ == "__main__":
+    main()

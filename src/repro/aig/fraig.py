@@ -26,6 +26,7 @@ entry point.
 from __future__ import annotations
 
 import random
+import time
 from typing import Dict, List, Optional, Tuple
 
 from ..sat.incremental import AigSatSession
@@ -103,6 +104,10 @@ class FraigEngine:
         self._width = 0
         self.counterexamples_absorbed = 0
         self.sweeps = 0
+        #: Sweeps that ran out of their time slice mid-pass and finished
+        #: in structural-hashing-only mode (no further SAT merges).
+        self.degraded_sweeps = 0
+        self.last_sweep_degraded = False
         # Simulation-word cache for the manager produced by the last
         # sweep.  Keyed by identity (plus pattern width): nodes are
         # append-only with immutable fanins, so cached words stay valid
@@ -155,13 +160,23 @@ class FraigEngine:
         aig: Aig,
         root: int,
         session: Optional[AigSatSession] = None,
+        deadline: Optional[float] = None,
     ) -> Tuple[Aig, int]:
         """Functionally reduce the cone of ``root``; returns a fresh manager.
 
         The result computes the same function; equivalent (or antivalent)
         internal nodes are merged when a SAT call proves the merge sound.
+
+        ``deadline`` (a ``time.monotonic`` timestamp) bounds the SAT
+        work: once it passes, the sweep *degrades* to
+        structural-hashing-only compaction — the rebuild into the fresh
+        manager continues (which already merges structurally identical
+        nodes) but no further merge candidates are proved by SAT.  The
+        degradation is recorded in ``degraded_sweeps`` /
+        ``last_sweep_degraded``; the result stays sound either way.
         """
         options = self.options
+        self.last_sweep_degraded = False
         if root in (TRUE, FALSE):
             return Aig(), root
         self.sweeps += 1
@@ -222,6 +237,7 @@ class FraigEngine:
             return rebuilt[node_of(fanin)] ^ (fanin & 1)
 
         budget = options.max_extra_patterns
+        sat_enabled = True
 
         for node in cone:
             if node == 0:
@@ -232,7 +248,13 @@ class FraigEngine:
             f0, f1 = aig.fanins(node)
             candidate = fresh.land(node_edge(f0), node_edge(f1))
             merged = False
-            while True:
+            while sat_enabled:
+                if deadline is not None and time.monotonic() > deadline:
+                    # Time slice spent: finish the pass strash-only.
+                    sat_enabled = False
+                    self.degraded_sweeps += 1
+                    self.last_sweep_degraded = True
+                    break
                 canon, phase = canon_of(node)
                 entry = classes.get(canon)
                 if entry is None:

@@ -25,16 +25,11 @@ from __future__ import annotations
 
 import itertools
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
-from ..core.result import (
-    SAT,
-    TIMEOUT,
-    UNSAT,
-    Limits,
-    SolveResult,
-    TimeoutExceeded,
-)
+from ..core.guard import ResourceGuard
+from ..core.result import SAT, UNSAT, SolveResult, exhausted_result
+from ..errors import ResourceExhausted
 from ..formula.dqbf import Dqbf
 from ..formula.lits import var_of
 
@@ -45,18 +40,22 @@ class DpllDqbfSolver:
     def __init__(self) -> None:
         self.stats: Dict[str, int] = {"leaves_visited": 0, "backtracks": 0}
 
-    def solve(self, formula: Dqbf, limits: Optional[Limits] = None) -> SolveResult:
-        limits = limits or Limits()
-        limits.restart_clock()
+    def solve(self, formula: Dqbf, limits=None) -> SolveResult:
+        """``limits`` accepts a :class:`~repro.core.result.Limits` or a
+        shared :class:`~repro.core.guard.ResourceGuard`."""
+        guard = ResourceGuard.ensure(limits)
+        guard.enter_stage("skolem-search")
         start = time.monotonic()
         try:
-            answer = self._solve_inner(formula, limits)
+            answer = self._solve_inner(formula, guard)
             status = SAT if answer else UNSAT
-        except TimeoutExceeded:
-            status = TIMEOUT
+        except ResourceExhausted as exc:
+            return exhausted_result(
+                exc, guard, time.monotonic() - start, dict(self.stats)
+            )
         return SolveResult(status, time.monotonic() - start, dict(self.stats))
 
-    def _solve_inner(self, formula: Dqbf, limits: Limits) -> bool:
+    def _solve_inner(self, formula: Dqbf, guard: ResourceGuard) -> bool:
         formula.validate()
         prefix = formula.prefix
         universals = prefix.universals
@@ -79,7 +78,13 @@ class DpllDqbfSolver:
             exi = [lit for lit in clause if var_of(lit) not in universal_set]
             split_clauses.append((uni, exi))
 
-        leaves = list(itertools.product((False, True), repeat=len(universals)))
+        # Leaves are indexed, not materialized: 2^|universals| tuples up
+        # front would blow memory (and stall the guard) long before the
+        # search visits them.
+        num_leaves = 1 << len(universals)
+
+        def leaf_sigma(index: int) -> Dict[int, bool]:
+            return {x: bool((index >> i) & 1) for i, x in enumerate(universals)}
 
         def leaf_keys(sigma: Dict[int, bool]):
             return {y: (y, tuple(sigma[x] for x in deps[y])) for y in existentials}
@@ -104,7 +109,7 @@ class DpllDqbfSolver:
         def leaf_choices(index: int):
             """Generator over consistent free-entry assignments at a leaf,
             yielding the keys it committed (for undo)."""
-            sigma = dict(zip(universals, leaves[index]))
+            sigma = leaf_sigma(index)
             keys = leaf_keys(sigma)
             fixed = {y: skolem[k] for y, k in keys.items() if k in skolem}
             free = [y for y in existentials if keys[y] not in skolem]
@@ -112,7 +117,7 @@ class DpllDqbfSolver:
                 itertools.product((False, True), repeat=len(free))
             ):
                 if combo_number % 256 == 0:
-                    limits.check_time()
+                    guard.check()
                 values = dict(fixed)
                 values.update(zip(free, combo))
                 if matrix_holds(sigma, values):
@@ -130,14 +135,18 @@ class DpllDqbfSolver:
         current = leaf_choices(0)
         committed: List[Tuple[int, Tuple[bool, ...]]] = []
         while True:
-            limits.check_time()
+            guard.check()
             self.stats["leaves_visited"] += 1
+            guard.note(
+                leaves_visited=self.stats["leaves_visited"],
+                backtracks=self.stats["backtracks"],
+            )
             advanced = False
             for keys in current:
                 # a consistent choice for this leaf: descend
                 stack.append((current, keys))
                 index += 1
-                if index == len(leaves):
+                if index == num_leaves:
                     return True
                 current = leaf_choices(index)
                 advanced = True
@@ -154,6 +163,6 @@ class DpllDqbfSolver:
             index -= 1
 
 
-def solve_dpll_dqbf(formula: Dqbf, limits: Optional[Limits] = None) -> SolveResult:
+def solve_dpll_dqbf(formula: Dqbf, limits=None) -> SolveResult:
     """Decide a DQBF with the search-based solver."""
     return DpllDqbfSolver().solve(formula, limits)

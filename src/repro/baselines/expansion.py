@@ -15,10 +15,8 @@ isolate the *algorithmic* contribution of the paper.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from ..core.hqs import HqsOptions, HqsSolver
-from ..core.result import Limits, SolveResult
+from ..core.result import SolveResult
 from ..formula.dqbf import Dqbf
 
 
@@ -33,7 +31,10 @@ def expansion_options() -> HqsOptions:
     )
 
 
-def solve_expansion(formula: Dqbf, limits: Optional[Limits] = None) -> SolveResult:
-    """Decide ``formula`` with the expansion-only strategy of [10]."""
+def solve_expansion(formula: Dqbf, limits=None) -> SolveResult:
+    """Decide ``formula`` with the expansion-only strategy of [10].
+
+    ``limits`` may be a :class:`~repro.core.result.Limits` or a shared
+    :class:`~repro.core.guard.ResourceGuard`."""
     solver = HqsSolver(expansion_options())
     return solver.solve(formula, limits)

@@ -32,20 +32,13 @@ instantiations blow up — exactly where HQS wins by orders of magnitude.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..aig.cnf_bridge import aig_to_cnf, cnf_to_aig
 from ..aig.graph import Aig, FALSE, TRUE, complement
-from ..core.result import (
-    MEMOUT,
-    SAT,
-    TIMEOUT,
-    UNSAT,
-    Limits,
-    NodeLimitExceeded,
-    SolveResult,
-    TimeoutExceeded,
-)
+from ..core.guard import ResourceGuard
+from ..core.result import SAT, UNSAT, SolveResult, exhausted_result
+from ..errors import ResourceExhausted, TimeoutExceeded
 from ..formula.dqbf import Dqbf
 from ..formula.lits import var_of
 from ..sat.solver import SAT as SAT_STATUS
@@ -88,22 +81,26 @@ class IdqSolver:
         """
         return self._skolem_tables
 
-    def solve(self, formula: Dqbf, limits: Optional[Limits] = None) -> SolveResult:
-        limits = limits or Limits()
-        limits.restart_clock()
+    def solve(self, formula: Dqbf, limits=None) -> SolveResult:
+        """``limits`` accepts a :class:`~repro.core.result.Limits` or a
+        shared :class:`~repro.core.guard.ResourceGuard`; exhaustion
+        yields ``UNKNOWN`` with a failure diagnosis, never an escaping
+        exception."""
+        guard = ResourceGuard.ensure(limits)
+        guard.enter_stage("instantiation")
         start = time.monotonic()
         try:
-            answer = self._solve_inner(formula, limits)
+            answer = self._solve_inner(formula, guard)
             status = SAT if answer else UNSAT
-        except TimeoutExceeded:
-            status = TIMEOUT
-        except NodeLimitExceeded:
-            status = MEMOUT
+        except ResourceExhausted as exc:
+            return exhausted_result(
+                exc, guard, time.monotonic() - start, self.stats.as_dict()
+            )
         runtime = time.monotonic() - start
         return SolveResult(status, runtime, self.stats.as_dict())
 
     # ------------------------------------------------------------------
-    def _solve_inner(self, formula: Dqbf, limits: Limits) -> bool:
+    def _solve_inner(self, formula: Dqbf, guard: ResourceGuard) -> bool:
         formula.validate()
         prefix = formula.prefix
         universals = prefix.universals
@@ -163,20 +160,26 @@ class IdqSolver:
             return False
 
         while True:
-            limits.check_time()
+            guard.check()
             self.stats.instantiation_rounds += 1
             self.stats.atoms = len(atom_table)
-            ground_status = ground.solve(deadline=limits.deadline())
+            guard.note(
+                instantiation_rounds=self.stats.instantiation_rounds,
+                ground_clauses=self.stats.ground_clauses,
+            )
+            ground_status = ground.solve(deadline=guard.deadline())
             if ground_status not in (SAT_STATUS, UNSAT_STATUS):
-                raise TimeoutExceeded()
+                raise TimeoutExceeded(diagnosis=guard.diagnosis("time"))
             if ground_status == UNSAT_STATUS:
                 # The ground set is implied by the DQBF's expansion.
                 return False
             model = ground.model()
 
+            guard.enter_stage("verification")
             counterexamples = self._find_counterexamples(
-                matrix_aig, matrix_root, universals, deps, atom_table, model, limits
+                matrix_aig, matrix_root, universals, deps, atom_table, model, guard
             )
+            guard.enter_stage("instantiation")
             if not counterexamples:
                 self._skolem_tables = self._build_skolem(deps, atom_table, model)
                 return True
@@ -206,7 +209,7 @@ class IdqSolver:
         deps: Dict[int, Tuple[int, ...]],
         atom_table: Dict[Tuple[int, Tuple[bool, ...]], int],
         model: Dict[int, bool],
-        limits: Limits,
+        guard: ResourceGuard,
     ) -> List[Dict[int, bool]]:
         """SAT query for universal assignments falsified by the candidate
         (default-False-extended) Skolem functions.
@@ -233,7 +236,7 @@ class IdqSolver:
         if negated == FALSE:
             return []
 
-        limits.check_time()
+        guard.check()
         max_var = max(universals, default=0)
         cnf, root_lit, _node_var = aig_to_cnf(matrix_aig, negated, start_var=max_var)
         solver = CdclSolver()
@@ -243,13 +246,13 @@ class IdqSolver:
 
         found: List[Dict[int, bool]] = []
         for _round in range(self.counterexample_batch):
-            status = solver.solve(deadline=limits.deadline())
+            status = solver.solve(deadline=guard.deadline())
             if status == UNSAT_STATUS:
                 break
             if status != SAT_STATUS:
                 if found:
                     break  # use what we have; timeout handled next round
-                raise TimeoutExceeded()
+                raise TimeoutExceeded(diagnosis=guard.diagnosis("time"))
             counter_model = solver.model()
             sigma = {x: counter_model.get(x, False) for x in universals}
             found.append(sigma)

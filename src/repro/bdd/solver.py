@@ -12,18 +12,11 @@ It doubles as another independent cross-check for HQS in the tests.
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional
+from typing import Dict
 
-from ..core.result import (
-    MEMOUT,
-    SAT,
-    TIMEOUT,
-    UNSAT,
-    Limits,
-    NodeLimitExceeded,
-    SolveResult,
-    TimeoutExceeded,
-)
+from ..core.guard import ResourceGuard
+from ..core.result import SAT, UNSAT, SolveResult, exhausted_result
+from ..errors import ResourceExhausted
 from ..formula.dqbf import Dqbf
 from .graph import Bdd, cnf_to_bdd
 
@@ -34,20 +27,24 @@ class BddEliminationSolver:
     def __init__(self) -> None:
         self.stats: Dict[str, int] = {}
 
-    def solve(self, formula: Dqbf, limits: Optional[Limits] = None) -> SolveResult:
-        limits = limits or Limits()
-        limits.restart_clock()
+    def solve(self, formula: Dqbf, limits=None) -> SolveResult:
+        """``limits`` accepts a :class:`~repro.core.result.Limits` or a
+        shared :class:`~repro.core.guard.ResourceGuard` (portfolio legs
+        and cross-checks hand one down so nested solves stop restarting
+        the clock)."""
+        guard = ResourceGuard.ensure(limits)
+        guard.enter_stage("bdd-build")
         start = time.monotonic()
         try:
-            answer = self._solve_inner(formula, limits)
+            answer = self._solve_inner(formula, guard)
             status = SAT if answer else UNSAT
-        except TimeoutExceeded:
-            status = TIMEOUT
-        except NodeLimitExceeded:
-            status = MEMOUT
+        except ResourceExhausted as exc:
+            return exhausted_result(
+                exc, guard, time.monotonic() - start, dict(self.stats)
+            )
         return SolveResult(status, time.monotonic() - start, dict(self.stats))
 
-    def _solve_inner(self, formula: Dqbf, limits: Limits) -> bool:
+    def _solve_inner(self, formula: Dqbf, guard: ResourceGuard) -> bool:
         formula.validate()
         work = formula.copy()
         prefix = work.prefix
@@ -60,15 +57,17 @@ class BddEliminationSolver:
         bdd, root = cnf_to_bdd(
             work.matrix.clauses,
             bdd,
-            node_budget=limits.node_limit,
-            deadline=limits.deadline(),
+            node_budget=guard.node_limit,
+            deadline=guard.deadline(),
         )
         next_var = max([work.matrix.num_vars] + prefix.all_variables() + [0]) + 1
 
+        guard.enter_stage("bdd-elimination")
         eliminations = 0
         while True:
-            limits.check_time()
-            limits.check_nodes(bdd.size(root))
+            guard.check()
+            guard.check_nodes(bdd.size(root))
+            guard.note(bdd_eliminations=eliminations)
             if root == Bdd.TRUE:
                 return True
             if root == Bdd.FALSE:
@@ -128,6 +127,6 @@ class BddEliminationSolver:
             )
 
 
-def solve_bdd(formula: Dqbf, limits: Optional[Limits] = None) -> SolveResult:
+def solve_bdd(formula: Dqbf, limits=None) -> SolveResult:
     """Decide a DQBF with the BDD-backed elimination solver."""
     return BddEliminationSolver().solve(formula, limits)

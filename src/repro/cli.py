@@ -7,7 +7,11 @@ Usage::
     hqs --timeout 60 --stats problem.dqdimacs
 
 Exit codes follow the (D)QBF-solver convention: 10 = SAT, 20 = UNSAT,
-0 = inconclusive (timeout/memout).
+0 = inconclusive.  Resource-limited runs exit with the coreutils
+``timeout(1)`` convention instead — 124 when the wall clock ran out,
+125 when the node (memory) budget did — and print a machine-readable
+``c failure`` line naming the stage, resource and progress, never a
+traceback.
 
 A second entry point, ``hqs-bench`` (:func:`bench_main`), drives the
 benchmark suite through the fault-tolerant parallel runner::
@@ -27,11 +31,15 @@ from .baselines.expansion import solve_expansion
 from .baselines.idq import IdqSolver
 from .core.hqs import HqsOptions, HqsSolver
 from .core.result import Limits, SAT, UNSAT
+from .errors import ResourceExhausted
 from .formula.dqdimacs import load_dqdimacs
 
 EXIT_SAT = 10
 EXIT_UNSAT = 20
 EXIT_UNKNOWN = 0
+#: coreutils ``timeout(1)`` conventions for resource-limited runs.
+EXIT_TIMEOUT = 124
+EXIT_NODELIMIT = 125
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -83,6 +91,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print dependency-structure metrics before solving",
     )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help=(
+            "anytime checkpoint file (HQS only): resume from it when "
+            "present, rewrite it after each eliminated universal, remove "
+            "it on completion"
+        ),
+    )
     return parser
 
 
@@ -97,24 +115,42 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for key, value in analyze_prefix(formula.prefix).as_dict().items():
             print(f"c {key} = {value}")
 
-    if args.solver == "idq":
-        result = IdqSolver().solve(formula, limits)
-    elif args.solver == "expansion":
-        result = solve_expansion(formula, limits)
-    else:
-        options = HqsOptions(
-            use_preprocessing=not args.no_preprocessing,
-            use_unit_pure=not args.no_unit_pure,
-            use_maxsat_selection=not args.no_maxsat,
-            use_qbf_backend=not args.no_qbf,
-            use_sat_probe=args.sat_probe,
-        )
-        solver = HqsSolver(options, trace=args.verbose)
-        result = solver.solve(formula, limits)
-        for line in solver.trace:
-            print(f"c {line}")
+    try:
+        if args.solver == "idq":
+            result = IdqSolver().solve(formula, limits)
+        elif args.solver == "expansion":
+            result = solve_expansion(formula, limits)
+        else:
+            options = HqsOptions(
+                use_preprocessing=not args.no_preprocessing,
+                use_unit_pure=not args.no_unit_pure,
+                use_maxsat_selection=not args.no_maxsat,
+                use_qbf_backend=not args.no_qbf,
+                use_sat_probe=args.sat_probe,
+            )
+            solver = HqsSolver(options, trace=args.verbose)
+            result = solver.solve(formula, limits, checkpoint=args.checkpoint)
+            for line in solver.trace:
+                print(f"c {line}")
+    except ResourceExhausted as exc:
+        # Solvers funnel exhaustion into UNKNOWN results themselves;
+        # this is the belt-and-braces path so no resource limit ever
+        # surfaces as a traceback.
+        from .core.result import UNKNOWN, exhausted_result
+        from .core.guard import ResourceGuard
+
+        result = exhausted_result(exc, ResourceGuard.ensure(limits), 0.0)
+        assert result.status == UNKNOWN
 
     print(f"s cnf {result.status} ({result.runtime:.3f}s)")
+    if result.failure is not None:
+        failure = result.failure
+        print(
+            f"c failure stage={failure.stage} resource={failure.resource} "
+            f"elapsed={failure.elapsed:.3f}"
+        )
+        for key in sorted(failure.progress):
+            print(f"c failure progress {key} = {failure.progress[key]}")
     if args.certificate and result.status == SAT:
         from .core.skolem import extract_certificate
 
@@ -137,6 +173,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return EXIT_SAT
     if result.status == UNSAT:
         return EXIT_UNSAT
+    if result.failure is not None:
+        if result.failure.resource == "nodes":
+            return EXIT_NODELIMIT
+        return EXIT_TIMEOUT
+    # Legacy statuses from solvers not yet on the guard.
+    if result.status == "TIMEOUT":
+        return EXIT_TIMEOUT
+    if result.status == "MEMOUT":
+        return EXIT_NODELIMIT
     return EXIT_UNKNOWN
 
 
@@ -175,6 +220,14 @@ def build_bench_parser() -> argparse.ArgumentParser:
     parser.add_argument("--node-limit", type=int, default=None, help="AIG node budget")
     parser.add_argument("--seed", type=int, default=None, help="suite generation seed")
     parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help=(
+            "directory for per-(instance, solver) anytime checkpoints; "
+            "killed or crashed workers resume from their last completed "
+            "elimination (default: REPRO_BENCH_CHECKPOINT)"
+        ),
+    )
+    parser.add_argument(
         "--table", action="store_true", help="print the Table I aggregation at the end"
     )
     return parser
@@ -193,6 +246,7 @@ def bench_main(argv: Optional[Sequence[str]] = None) -> int:
         node_limit=args.node_limit,
         seed=args.seed,
         jobs=args.jobs,
+        checkpoint_dir=args.checkpoint_dir,
     )
     if args.resume and not args.log:
         print("error: --resume requires --log", file=sys.stderr)

@@ -1,0 +1,248 @@
+"""Anytime checkpointing of an HQS solve.
+
+The elimination loop makes discrete, durable progress: after each
+eliminated universal the state ``(AIG matrix, dependency prefix,
+remaining elimination pool)`` fully determines the rest of the solve.
+:class:`SolverCheckpoint` snapshots exactly that — the AIG serialized as
+ASCII AIGER (numeric labels survive the round trip via the symbol
+table), the prefix as explicit dependency lists, plus the counters and
+guard accounting needed to report cumulative effort — so a killed or
+crashed worker can be restarted from its last completed elimination
+instead of from scratch.
+
+Budget semantics on resume: the resumed run gets a *fresh* budget (a
+restarted worker would otherwise be exhausted on arrival); the previous
+run's elapsed time and conflicts are absorbed via
+:meth:`~repro.core.guard.ResourceGuard.absorb_checkpoint` and surface
+as ``prior_elapsed``/``prior_conflicts`` in the stats and in any
+failure diagnosis.
+
+Saves are atomic (write to a sibling temp file, then ``os.replace``), so
+a kill mid-save leaves the previous checkpoint intact.  A fingerprint of
+the input formula guards against resuming the wrong instance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional
+
+from ..aig.aiger import parse_aiger, write_aiger
+from ..formula.dqbf import Dqbf
+from ..formula.prefix import DependencyPrefix
+from .state import AigDqbf
+
+#: Bump when the on-disk layout changes; loads refuse other versions.
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """Raised on malformed, mismatched or incompatible checkpoint files."""
+
+
+def formula_fingerprint(formula: Dqbf) -> str:
+    """Stable digest of a DQBF (prefix + clauses), for resume validation."""
+    hasher = hashlib.sha256()
+    prefix = formula.prefix
+    hasher.update(repr(sorted(prefix.universals)).encode())
+    hasher.update(
+        repr(
+            sorted((y, tuple(sorted(prefix.dependencies(y))))
+                   for y in prefix.existentials)
+        ).encode()
+    )
+    hasher.update(
+        repr(sorted(tuple(sorted(c)) for c in formula.matrix.clauses)).encode()
+    )
+    return hasher.hexdigest()
+
+
+class SolverCheckpoint:
+    """One resumable snapshot of the HQS elimination loop."""
+
+    def __init__(
+        self,
+        fingerprint: str,
+        aiger: str,
+        root_constant: Optional[bool],
+        universals: List[int],
+        existentials: List[List[int]],
+        next_var: int,
+        elimination_pool: List[int],
+        eliminations: Dict[str, int],
+        stats: Dict[str, float],
+        elapsed: float,
+        conflicts: int,
+    ) -> None:
+        self.fingerprint = fingerprint
+        self.aiger = aiger
+        #: ``True``/``False`` when the matrix collapsed to a constant
+        #: (AIGER cannot express a bare constant output portably enough
+        #: for our writer, and a constant matrix never needs resuming —
+        #: kept for completeness).
+        self.root_constant = root_constant
+        self.universals = universals
+        #: ``[var, dep, dep, ...]`` per existential, construction order.
+        self.existentials = existentials
+        self.next_var = next_var
+        self.elimination_pool = elimination_pool
+        self.eliminations = eliminations
+        self.stats = stats
+        self.elapsed = elapsed
+        self.conflicts = conflicts
+
+    # ------------------------------------------------------------------
+    # capture / restore
+    # ------------------------------------------------------------------
+    @classmethod
+    def capture(
+        cls,
+        fingerprint: str,
+        state: AigDqbf,
+        elimination_pool: List[int],
+        eliminations: Dict[str, int],
+        stats: Dict[str, float],
+        elapsed: float,
+        conflicts: int,
+    ) -> "SolverCheckpoint":
+        constant = state.is_constant()
+        aiger = ""
+        if constant is None:
+            aiger = write_aiger(state.aig, [state.root])
+        prefix = state.prefix
+        return cls(
+            fingerprint=fingerprint,
+            aiger=aiger,
+            root_constant=constant,
+            universals=list(prefix.universals),
+            existentials=[
+                [y] + sorted(prefix.dependencies(y)) for y in prefix.existentials
+            ],
+            next_var=state.next_var,
+            elimination_pool=list(elimination_pool),
+            eliminations=dict(eliminations),
+            stats={k: v for k, v in stats.items() if isinstance(v, (int, float))},
+            elapsed=elapsed,
+            conflicts=conflicts,
+        )
+
+    def restore_state(self) -> AigDqbf:
+        """Rebuild the :class:`AigDqbf` this checkpoint describes."""
+        prefix = DependencyPrefix()
+        for x in self.universals:
+            prefix.add_universal(x)
+        for entry in self.existentials:
+            prefix.add_existential(entry[0], entry[1:])
+        if self.root_constant is not None:
+            from ..aig.graph import FALSE, TRUE, Aig
+
+            return AigDqbf(
+                Aig(), TRUE if self.root_constant else FALSE, prefix, self.next_var
+            )
+        aig, outputs, _labels = parse_aiger(self.aiger)
+        return AigDqbf(aig, outputs[0], prefix, self.next_var)
+
+    # ------------------------------------------------------------------
+    # (de)serialization
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "version": CHECKPOINT_VERSION,
+            "fingerprint": self.fingerprint,
+            "aiger": self.aiger,
+            "root_constant": self.root_constant,
+            "universals": self.universals,
+            "existentials": self.existentials,
+            "next_var": self.next_var,
+            "elimination_pool": self.elimination_pool,
+            "eliminations": self.eliminations,
+            "stats": self.stats,
+            "elapsed": self.elapsed,
+            "conflicts": self.conflicts,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SolverCheckpoint":
+        version = payload.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointError(f"unsupported checkpoint version {version!r}")
+        try:
+            return cls(
+                fingerprint=str(payload["fingerprint"]),
+                aiger=str(payload["aiger"]),
+                root_constant=payload["root_constant"],
+                universals=[int(x) for x in payload["universals"]],
+                existentials=[
+                    [int(v) for v in entry] for entry in payload["existentials"]
+                ],
+                next_var=int(payload["next_var"]),
+                elimination_pool=[int(x) for x in payload["elimination_pool"]],
+                eliminations={
+                    str(k): int(v)
+                    for k, v in payload["eliminations"].items()
+                },
+                stats={str(k): v for k, v in payload["stats"].items()},
+                elapsed=float(payload["elapsed"]),
+                conflicts=int(payload["conflicts"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed checkpoint: {exc}") from exc
+
+    def save(self, path: str) -> None:
+        """Atomically write the checkpoint (temp file + rename)."""
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as handle:
+            json.dump(self.as_dict(), handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, path: str) -> "SolverCheckpoint":
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise CheckpointError("checkpoint root must be a JSON object")
+        return cls.from_dict(payload)
+
+    @classmethod
+    def try_load(
+        cls, path: str, fingerprint: Optional[str] = None
+    ) -> Optional["SolverCheckpoint"]:
+        """Load if present and (when given) matching ``fingerprint``.
+
+        Missing, corrupt or mismatched checkpoints yield ``None`` — a
+        resume must never be worse than starting over, so any problem
+        with the file just falls back to a fresh solve.
+        """
+        if not os.path.exists(path):
+            return None
+        try:
+            checkpoint = cls.load(path)
+        except CheckpointError:
+            return None
+        if fingerprint is not None and checkpoint.fingerprint != fingerprint:
+            return None
+        return checkpoint
+
+    def __repr__(self) -> str:
+        return (
+            f"SolverCheckpoint(universals={len(self.universals)}, "
+            f"existentials={len(self.existentials)}, "
+            f"eliminated={self.eliminations}, elapsed={self.elapsed:.3f}s)"
+        )
+
+
+def discard(path: Optional[str]) -> None:
+    """Remove a checkpoint file if it exists (end-of-solve cleanup)."""
+    if not path:
+        return
+    try:
+        os.remove(path)
+    except OSError:
+        pass

@@ -17,13 +17,19 @@ eliminated as in QBF by ``phi[0/y] ∨ phi[1/y]`` without any copies.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..aig.graph import edge_of
+from .guard import ResourceGuard
 from .state import AigDqbf
 
 
-def eliminate_universal(state: AigDqbf, x: int, fused: bool = True) -> Dict[int, int]:
+def eliminate_universal(
+    state: AigDqbf,
+    x: int,
+    fused: bool = True,
+    guard: Optional[ResourceGuard] = None,
+) -> Dict[int, int]:
     """Apply Theorem 1 to ``x``; returns the ``{y: y'}`` copy map.
 
     With ``fused=True`` (the default) both cofactors and the dependent
@@ -32,6 +38,11 @@ def eliminate_universal(state: AigDqbf, x: int, fused: bool = True) -> Dict[int,
     data.  ``fused=False`` keeps the original four-pass rebuild chain
     (two cofactors, a support walk, a rename) as a reference
     implementation for equivalence testing and kernel benchmarks.
+
+    ``guard`` (optional) charges the post-elimination cone size against
+    the node budget immediately — Theorem 1 is where the matrix blows
+    up, and waiting for the caller's next loop-head check would let one
+    bad elimination overshoot the budget by a whole conjunction.
     """
     if not state.prefix.is_universal(x):
         raise ValueError(f"{x} is not a universal variable")
@@ -71,6 +82,8 @@ def eliminate_universal(state: AigDqbf, x: int, fused: bool = True) -> Dict[int,
     for y, y_copy in copies.items():
         state.prefix.add_existential(y_copy, state.prefix.dependencies(y) - {x})
     state.prefix.remove_universal(x)
+    if guard is not None:
+        guard.check_nodes(state.matrix_size())
     return copies
 
 

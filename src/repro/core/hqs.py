@@ -27,24 +27,27 @@ from typing import Dict, List, Optional, Set
 from ..aig.cnf_bridge import cnf_to_aig, is_satisfiable
 from ..aig.fraig import FraigEngine, FraigOptions
 from ..aig.graph import FALSE, complement
+from ..errors import (
+    ConflictLimitExceeded,
+    ResourceExhausted,
+    StageBudgetExceeded,
+    TimeoutExceeded,
+)
 from ..sat.incremental import AigSatSession, SatServiceStats
 from ..formula.dqbf import Dqbf
 from ..formula.lits import var_of
 from ..qbf.aigsolve import QbfSolverStats, solve_aig_qbf
+from .checkpoint import SolverCheckpoint, discard, formula_fingerprint
 from .depgraph import incomparable_pairs, is_acyclic, linearize
 from .elimination import eliminable_existentials, eliminate_existential, eliminate_universal
+from .guard import ResourceGuard
 from .preprocess import Gate, preprocess
-from .result import (
-    MEMOUT,
-    SAT,
-    TIMEOUT,
-    UNSAT,
-    Limits,
-    NodeLimitExceeded,
-    SolveResult,
-    TimeoutExceeded,
+from .result import SAT, UNSAT, SolveResult, exhausted_result
+from .selection import (
+    greedy_elimination_set,
+    order_by_copy_cost,
+    select_elimination_set,
 )
-from .selection import order_by_copy_cost, select_elimination_set
 from .state import AigDqbf
 from .unitpure import UnitPureStats, apply_unit_pure
 
@@ -66,6 +69,10 @@ class HqsOptions:
         elimination_order: str = "copies",
         fraig_interval: int = 0,
         compact_ratio: int = 4,
+        maxsat_conflict_budget: Optional[int] = 50_000,
+        maxsat_time_fraction: float = 0.25,
+        fraig_time_fraction: float = 0.25,
+        qbf_time_fraction: float = 0.8,
     ):
         self.use_preprocessing = use_preprocessing
         self.use_gate_detection = use_gate_detection
@@ -98,6 +105,17 @@ class HqsOptions:
         self.elimination_order = elimination_order
         self.fraig_interval = fraig_interval
         self.compact_ratio = compact_ratio
+        # Degradation-ladder stage budgets.  Each pipeline stage that can
+        # blow a whole budget on its own (MaxSAT selection, FRAIG SAT
+        # sweeping, the QBF back-end) gets a bounded slice of the
+        # remaining resources; going over it triggers the cheaper
+        # fallback instead of sinking the solve.  Fractions <= 0 expire
+        # the slice immediately (the fault-injection hook the robustness
+        # tests use); conflict budget ``None`` means unbounded.
+        self.maxsat_conflict_budget = maxsat_conflict_budget
+        self.maxsat_time_fraction = maxsat_time_fraction
+        self.fraig_time_fraction = fraig_time_fraction
+        self.qbf_time_fraction = qbf_time_fraction
 
 
 class HqsSolver:
@@ -123,33 +141,73 @@ class HqsSolver:
             self.trace.append(message)
 
     # ------------------------------------------------------------------
-    def solve(self, formula: Dqbf, limits: Optional[Limits] = None) -> SolveResult:
-        limits = limits or Limits()
-        limits.restart_clock()
+    def solve(
+        self,
+        formula: Dqbf,
+        limits=None,
+        checkpoint: Optional[str] = None,
+    ) -> SolveResult:
+        """Solve ``formula`` under ``limits`` (a
+        :class:`~repro.core.result.Limits` or an existing
+        :class:`~repro.core.guard.ResourceGuard` to share a caller's
+        budget).
+
+        Resource exhaustion never escapes: the result's status is then
+        ``UNKNOWN`` and ``result.failure`` carries a machine-readable
+        :class:`~repro.errors.FailureDiagnosis` (stage, resource,
+        progress made).
+
+        ``checkpoint`` names a file for anytime snapshots: the solver
+        resumes from it when present (same formula), rewrites it after
+        each eliminated universal, and removes it once the solve
+        completes.
+        """
+        guard = ResourceGuard.ensure(limits)
         self.stats = {}
         self.trace = []
         start = time.monotonic()
         self._kernel_counters = None
         self._sat_session = None
         self._fraig_engine = None
+        exhausted: Optional[ResourceExhausted] = None
+        answer = False
         try:
-            answer = self._solve_inner(formula, limits)
-            status = SAT if answer else UNSAT
-        except TimeoutExceeded:
-            status = TIMEOUT
-        except NodeLimitExceeded:
-            status = MEMOUT
+            answer = self._solve_inner(formula, guard, checkpoint)
+            discard(checkpoint)
+        except ResourceExhausted as exc:
+            exhausted = exc
         finally:
             self._export_kernel_stats()
             self._export_sat_stats()
+            self._export_guard_stats(guard)
         runtime = time.monotonic() - start
-        return SolveResult(status, runtime, dict(self.stats))
+        if exhausted is not None:
+            return exhausted_result(exhausted, guard, runtime, dict(self.stats))
+        return SolveResult(SAT if answer else UNSAT, runtime, dict(self.stats))
 
     # ------------------------------------------------------------------
-    def _solve_inner(self, formula: Dqbf, limits: Limits) -> bool:
+    def _solve_inner(
+        self,
+        formula: Dqbf,
+        guard: ResourceGuard,
+        checkpoint_path: Optional[str] = None,
+    ) -> bool:
         options = self.options
         formula.validate()
 
+        # Anytime resume: a matching checkpoint skips preprocessing, AIG
+        # construction and selection and re-enters the elimination loop
+        # where the previous run left off.  Any problem with the file
+        # (missing, corrupt, different formula) just starts fresh.
+        fingerprint: Optional[str] = None
+        resumed: Optional[SolverCheckpoint] = None
+        if checkpoint_path is not None:
+            fingerprint = formula_fingerprint(formula)
+            resumed = SolverCheckpoint.try_load(checkpoint_path, fingerprint)
+        if resumed is not None:
+            return self._resume(resumed, guard, checkpoint_path, fingerprint)
+
+        guard.enter_stage("preprocess")
         gates: List[Gate] = []
         if options.use_preprocessing:
             pre = preprocess(formula, detect_gates=options.use_gate_detection)
@@ -168,21 +226,10 @@ class HqsSolver:
         else:
             work = formula.copy()
 
-        limits.check_time()
+        guard.check()
         state = self._build_state(work, gates)
         state.prune_prefix()
-        # Kernel counters live on the AIG manager and survive compaction
-        # (extract shares the object); keep a handle for stats export.
-        self._kernel_counters = state.aig.counters
-        # One SAT session serves every query of the run.  With
-        # use_sat_session=False it degrades to a fresh solver per query
-        # while keeping the same counters (the benchmark baseline).
-        self._sat_session = AigSatSession(
-            state.aig,
-            persistent=options.use_sat_session,
-            max_clauses=options.sat_session_max_clauses,
-        )
-        self._fraig_engine = FraigEngine(FraigOptions())
+        self._bind_services(state, guard)
         self.stats["initial_matrix_size"] = state.matrix_size()
         if state.root > 1:
             self.stats["initial_matrix_level"] = state.aig.level_of(state.root)
@@ -193,40 +240,134 @@ class HqsSolver:
             f"({'fused' if options.use_fused_kernel else 'naive'} kernel)"
         )
 
-        if options.use_sat_probe and not self._sat_probe(state, limits):
+        if options.use_sat_probe and not self._sat_probe(state, guard):
             # The all-zero universal branch has no satisfying existential
             # assignment, so no Skolem functions can exist.
             self.stats["sat_probe_refuted"] = 1
             self._trace("SAT probe refuted the all-zero branch: UNSAT")
             return False
 
-        unit_pure_stats = UnitPureStats()
-        unit_pure_time = 0.0
-        qbf_stats = QbfSolverStats()
         eliminations = {"universal": 0, "existential": 0}
 
         # MaxSAT selection of the minimum elimination set (computed once,
-        # before the main loop, as in the paper).
+        # before the main loop, as in the paper).  Ladder rung 1: when
+        # the MaxSAT search blows its stage budget, fall back to the
+        # greedy dependency-graph covering heuristic — a larger but
+        # still valid elimination set, for a bounded price.
         elimination_pool: List[int] = []
         if options.use_maxsat_selection:
-            selection = select_elimination_set(state.prefix)
+            guard.enter_stage("selection")
+            try:
+                selection = select_elimination_set(
+                    state.prefix,
+                    conflict_limit=options.maxsat_conflict_budget,
+                    deadline=guard.stage_deadline(options.maxsat_time_fraction),
+                )
+                self._trace(
+                    f"MaxSAT selection: eliminate {selection.variables} "
+                    f"({selection.num_pairs} incomparable pairs)"
+                )
+            except StageBudgetExceeded:
+                guard.check()  # whole-solve budget gone instead? raise it
+                selection = greedy_elimination_set(state.prefix)
+                self.stats["degrade_maxsat"] = 1
+                self._trace(
+                    f"MaxSAT selection over budget: greedy fallback "
+                    f"eliminates {selection.variables}"
+                )
             elimination_pool = list(selection.variables)
-            self._trace(
-                f"MaxSAT selection: eliminate {selection.variables} "
-                f"({selection.num_pairs} incomparable pairs)"
-            )
             self.stats["maxsat_time"] = selection.maxsat_time
             self.stats["maxsat_pairs"] = selection.num_pairs
             self.stats["maxsat_conflicts"] = selection.conflicts
             self.stats["maxsat_decisions"] = selection.decisions
             self.stats["selected_universals"] = len(elimination_pool)
 
+        return self._elimination_loop(
+            state, guard, elimination_pool, eliminations, checkpoint_path, fingerprint
+        )
+
+    # ------------------------------------------------------------------
+    def _resume(
+        self,
+        resumed: SolverCheckpoint,
+        guard: ResourceGuard,
+        checkpoint_path: str,
+        fingerprint: str,
+    ) -> bool:
+        """Re-enter the elimination loop from a saved snapshot.
+
+        The resumed run gets the *fresh* budget it was called with; the
+        previous run's spend is absorbed into the guard so cumulative
+        effort still shows up in stats and diagnoses.
+        """
+        state = resumed.restore_state()
+        state.prune_prefix()
+        self._bind_services(state, guard)
+        self.stats.update(resumed.stats)
+        self.stats["checkpoint_resumed"] = 1
+        guard.absorb_checkpoint(resumed.elapsed, resumed.conflicts)
+        self._trace(
+            f"resumed from checkpoint: {resumed.eliminations} eliminated, "
+            f"matrix {state.matrix_size()} nodes, "
+            f"{resumed.elapsed:.3f}s prior work"
+        )
+        return self._elimination_loop(
+            state,
+            guard,
+            list(resumed.elimination_pool),
+            dict(resumed.eliminations),
+            checkpoint_path,
+            fingerprint,
+        )
+
+    # ------------------------------------------------------------------
+    def _bind_services(self, state: AigDqbf, guard: ResourceGuard) -> None:
+        """Attach the kernel counters, SAT session and FRAIG engine."""
+        # Kernel counters live on the AIG manager and survive compaction
+        # (extract shares the object); keep a handle for stats export.
+        self._kernel_counters = state.aig.counters
+        # One SAT session serves every query of the run.  With
+        # use_sat_session=False it degrades to a fresh solver per query
+        # while keeping the same counters (the benchmark baseline).
+        # Every query charges its conflicts to the guard.
+        self._sat_session = AigSatSession(
+            state.aig,
+            persistent=self.options.use_sat_session,
+            max_clauses=self.options.sat_session_max_clauses,
+            guard=guard,
+        )
+        self._fraig_engine = FraigEngine(FraigOptions())
+
+    # ------------------------------------------------------------------
+    def _elimination_loop(
+        self,
+        state: AigDqbf,
+        guard: ResourceGuard,
+        elimination_pool: List[int],
+        eliminations: Dict[str, int],
+        checkpoint_path: Optional[str],
+        fingerprint: Optional[str],
+    ) -> bool:
+        options = self.options
+        unit_pure_stats = UnitPureStats()
+        unit_pure_time = 0.0
+        qbf_stats = QbfSolverStats()
+        # Ladder rung 3: once the QBF back-end blows its stage slice it
+        # stays off for the rest of the solve and the loop keeps
+        # expanding universals (the bounded-expansion fallback).
+        qbf_enabled = options.use_qbf_backend
+
         fraig_countdown = options.fraig_interval
+        guard.enter_stage("elimination")
 
         while True:
-            limits.check_time()
+            guard.check()
             self._maybe_compact(state)
-            limits.check_nodes(state.matrix_size())
+            guard.check_nodes(state.matrix_size())
+            guard.note(
+                universal_eliminations=eliminations["universal"],
+                existential_eliminations=eliminations["existential"],
+            )
 
             constant = state.is_constant()
             if constant is not None:
@@ -249,7 +390,7 @@ class HqsSolver:
             while progressed:
                 progressed = False
                 for y in eliminable_existentials(state):
-                    limits.check_time()
+                    guard.check()
                     eliminate_existential(state, y, fused=options.use_fused_kernel)
                     eliminations["existential"] += 1
                     self._trace(
@@ -267,31 +408,60 @@ class HqsSolver:
                 # Pure SAT endgame.
                 self._export_eliminations(eliminations)
                 self._trace("no universals left: SAT endgame")
+                guard.enter_stage("sat-endgame")
                 return is_satisfiable(
-                    state.aig, state.root, limits.deadline(), self._sat_session
+                    state.aig, state.root, guard.deadline(), self._sat_session
                 )
 
             if is_acyclic(state.prefix):
                 self._export_eliminations(eliminations)
-                if options.use_qbf_backend:
+                if qbf_enabled:
+                    # Ladder rung 3: the back-end runs on a bounded slice
+                    # of the remaining budget.  Blowing the slice leaves
+                    # the state intact (the root is only reassigned on
+                    # success), so the loop can continue with bounded
+                    # expansion instead of giving up.
                     blocked = linearize(state.prefix)
-                    self._trace(f"dependency graph acyclic: QBF back-end with prefix {blocked!r}")
-                    result = solve_aig_qbf(
-                        state.aig,
-                        state.root,
-                        blocked,
-                        limits,
-                        use_unit_pure=options.use_unit_pure,
-                        stats=qbf_stats,
-                        compact_ratio=options.compact_ratio,
-                        fused=options.use_fused_kernel,
-                        sat_session=self._sat_session,
+                    self._trace(
+                        f"dependency graph acyclic: QBF back-end with prefix {blocked!r}"
                     )
-                    self.stats.update(
-                        {f"qbf_{k}": v for k, v in qbf_stats.as_dict().items()}
+                    qbf_guard = guard.slice(
+                        time_fraction=options.qbf_time_fraction,
+                        stage="qbf-backend",
                     )
-                    return result
-                # Ablation/baseline path: keep expanding universals.
+                    try:
+                        result = solve_aig_qbf(
+                            state.aig,
+                            state.root,
+                            blocked,
+                            qbf_guard,
+                            use_unit_pure=options.use_unit_pure,
+                            stats=qbf_stats,
+                            compact_ratio=options.compact_ratio,
+                            fused=options.use_fused_kernel,
+                            sat_session=self._sat_session,
+                        )
+                        self.stats.update(
+                            {f"qbf_{k}": v for k, v in qbf_stats.as_dict().items()}
+                        )
+                        return result
+                    except (
+                        StageBudgetExceeded,
+                        TimeoutExceeded,
+                        ConflictLimitExceeded,
+                    ):
+                        guard.check()  # whole-solve budget gone? raise it
+                        qbf_enabled = False
+                        self.stats["degrade_qbf"] = 1
+                        self.stats.update(
+                            {f"qbf_{k}": v for k, v in qbf_stats.as_dict().items()}
+                        )
+                        guard.enter_stage("elimination")
+                        self._trace(
+                            "QBF back-end over budget: bounded expansion fallback"
+                        )
+                # Expansion path (ablation baseline, or the rung-3
+                # fallback after a degraded back-end).
                 x = self._next_universal(state, list(state.prefix.universals))
             else:
                 candidates = [
@@ -301,7 +471,9 @@ class HqsSolver:
                     candidates = self._fallback_candidates(state)
                 x = self._next_universal(state, candidates)
 
-            copies = eliminate_universal(state, x, fused=options.use_fused_kernel)
+            copies = eliminate_universal(
+                state, x, fused=options.use_fused_kernel, guard=guard
+            )
             eliminations["universal"] += 1
             self._trace(
                 f"Theorem 1: eliminated universal {x} "
@@ -309,11 +481,21 @@ class HqsSolver:
             )
             self._export_eliminations(eliminations)
 
+            if checkpoint_path is not None:
+                self._save_checkpoint(
+                    checkpoint_path,
+                    fingerprint,
+                    state,
+                    elimination_pool,
+                    eliminations,
+                    guard,
+                )
+
             if options.fraig_interval:
                 fraig_countdown -= 1
                 if fraig_countdown <= 0:
                     fraig_countdown = options.fraig_interval
-                    self._fraig(state)
+                    self._fraig(state, guard)
 
     # ------------------------------------------------------------------
     def _build_state(self, work: Dqbf, gates: List[Gate]) -> AigDqbf:
@@ -351,7 +533,7 @@ class HqsSolver:
         ) + 1
         return AigDqbf(aig, root, work.prefix, next_var)
 
-    def _sat_probe(self, state: AigDqbf, limits: Limits) -> bool:
+    def _sat_probe(self, state: AigDqbf, guard: ResourceGuard) -> bool:
         """One SAT call on the all-zero universal branch (Section IV).
 
         If the matrix restricted to ``x := 0`` for every universal has no
@@ -365,7 +547,7 @@ class HqsSolver:
             state.root, {x: FALSE for x in state.prefix.universals}
         )
         return is_satisfiable(
-            state.aig, branch, limits.deadline(), self._sat_session
+            state.aig, branch, guard.deadline(), self._sat_session
         )
 
     def _maybe_compact(self, state: AigDqbf) -> None:
@@ -375,12 +557,22 @@ class HqsSolver:
             if self._sat_session is not None:
                 self._sat_session.rebind(state.aig)
 
-    def _fraig(self, state: AigDqbf) -> None:
+    def _fraig(self, state: AigDqbf, guard: ResourceGuard) -> None:
+        # Ladder rung 2: the sweep's SAT merging runs on a bounded time
+        # slice; past it the engine finishes in structural-hashing-only
+        # mode (still sound, still compacting) and reports the
+        # degradation, which we count as ``degrade_fraig``.
         counters = state.aig.counters
         generation = state.aig.cache_generation
         fresh, root = self._fraig_engine.sweep(
-            state.aig, state.root, session=self._sat_session
+            state.aig,
+            state.root,
+            session=self._sat_session,
+            deadline=guard.stage_deadline(self.options.fraig_time_fraction),
         )
+        if self._fraig_engine.last_sweep_degraded:
+            self.stats["degrade_fraig"] = self.stats.get("degrade_fraig", 0) + 1
+            self._trace("FRAIG sweep over budget: strash-only compaction")
         # FRAIG rebuilds into a brand-new manager: keep accumulating
         # kernel work in the same counters and advance the generation.
         fresh.counters = counters
@@ -410,6 +602,35 @@ class HqsSolver:
         if not pool:  # pragma: no cover - cyclic prefix always has pairs
             pool = set(state.prefix.universals)
         return sorted(pool)
+
+    def _save_checkpoint(
+        self,
+        path: str,
+        fingerprint: Optional[str],
+        state: AigDqbf,
+        elimination_pool: List[int],
+        eliminations: Dict[str, int],
+        guard: ResourceGuard,
+    ) -> None:
+        snapshot = SolverCheckpoint.capture(
+            fingerprint or "",
+            state,
+            elimination_pool,
+            eliminations,
+            self.stats,
+            elapsed=guard.prior_elapsed + guard.elapsed(),
+            conflicts=guard.prior_conflicts + guard.conflicts,
+        )
+        snapshot.save(path)
+        self.stats["checkpoint_writes"] = self.stats.get("checkpoint_writes", 0) + 1
+
+    def _export_guard_stats(self, guard: ResourceGuard) -> None:
+        self.stats["guard_checks"] = guard.checks
+        self.stats["guard_conflicts"] = guard.conflicts
+        if guard.prior_elapsed:
+            self.stats["prior_elapsed"] = guard.prior_elapsed
+        if guard.prior_conflicts:
+            self.stats["prior_conflicts"] = guard.prior_conflicts
 
     def _export_unit_pure(self, stats: UnitPureStats) -> None:
         self.stats["units_eliminated"] = stats.units_eliminated
@@ -471,8 +692,9 @@ class HqsSolver:
 
 def solve_dqbf(
     formula: Dqbf,
-    limits: Optional[Limits] = None,
+    limits=None,
     options: Optional[HqsOptions] = None,
+    checkpoint: Optional[str] = None,
 ) -> SolveResult:
     """Solve a DQBF with HQS; the main public entry point of the library."""
-    return HqsSolver(options).solve(formula, limits)
+    return HqsSolver(options).solve(formula, limits, checkpoint=checkpoint)

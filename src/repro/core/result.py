@@ -12,7 +12,13 @@ from __future__ import annotations
 import time
 from typing import Dict, Optional
 
-from ..errors import NodeLimitExceeded, TimeoutExceeded
+from ..errors import (
+    FailureDiagnosis,
+    NodeLimitExceeded,
+    ResourceExhausted,
+    TimeoutExceeded,
+)
+from .guard import ResourceGuard
 
 SAT = "SAT"
 UNSAT = "UNSAT"
@@ -33,10 +39,16 @@ class Limits:
         self,
         time_limit: Optional[float] = None,
         node_limit: Optional[int] = None,
+        conflict_limit: Optional[int] = None,
     ):
         self.time_limit = time_limit
         self.node_limit = node_limit
+        self.conflict_limit = conflict_limit
         self._start = time.monotonic()
+
+    def guard(self) -> ResourceGuard:
+        """A fresh :class:`ResourceGuard` over this budget (clock starts now)."""
+        return ResourceGuard.from_limits(self)
 
     def restart_clock(self) -> None:
         self._start = time.monotonic()
@@ -78,7 +90,11 @@ class Limits:
             child_nodes = node_limit
         else:
             child_nodes = min(node_limit, self.node_limit)
-        return Limits(time_limit=child_time, node_limit=child_nodes)
+        return Limits(
+            time_limit=child_time,
+            node_limit=child_nodes,
+            conflict_limit=self.conflict_limit,
+        )
 
     def deadline(self) -> Optional[float]:
         """Absolute ``time.monotonic`` timestamp of the time budget, if any."""
@@ -95,7 +111,7 @@ class Limits:
             raise NodeLimitExceeded()
 
     def copy(self) -> "Limits":
-        fresh = Limits(self.time_limit, self.node_limit)
+        fresh = Limits(self.time_limit, self.node_limit, self.conflict_limit)
         fresh._start = self._start
         return fresh
 
@@ -113,8 +129,14 @@ class SolveResult:
     incremental SAT service, see
     :class:`~repro.sat.incremental.SatServiceStats` — queries,
     conflicts, clauses encoded, encode cache hits, learned-clause
-    reuse, counterexamples absorbed), ``qbf_*`` (the QBF back-end) and
-    the elimination/unit-pure counts.
+    reuse, counterexamples absorbed), ``qbf_*`` (the QBF back-end),
+    ``degrade_*`` (the degradation ladder) and the elimination/unit-pure
+    counts.
+
+    ``failure`` is ``None`` on a definitive answer; on a
+    resource-limited :data:`UNKNOWN` it carries the
+    :class:`~repro.errors.FailureDiagnosis` — which pipeline stage ran
+    out of which budget, and how far it had come.
     """
 
     def __init__(
@@ -122,10 +144,12 @@ class SolveResult:
         status: str,
         runtime: float = 0.0,
         stats: Optional[Dict[str, float]] = None,
+        failure: Optional[FailureDiagnosis] = None,
     ):
         self.status = status
         self.runtime = runtime
         self.stats = stats or {}
+        self.failure = failure
 
     @property
     def solved(self) -> bool:
@@ -133,15 +157,48 @@ class SolveResult:
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-serializable form (used by the JSONL result log)."""
-        return {"status": self.status, "runtime": self.runtime, "stats": dict(self.stats)}
+        entry: Dict[str, object] = {
+            "status": self.status,
+            "runtime": self.runtime,
+            "stats": dict(self.stats),
+        }
+        if self.failure is not None:
+            entry["failure"] = self.failure.as_dict()
+        return entry
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "SolveResult":
+        failure = data.get("failure")
         return cls(
             status=str(data["status"]),
             runtime=float(data.get("runtime", 0.0)),
             stats=dict(data.get("stats") or {}),
+            failure=FailureDiagnosis.from_dict(failure) if failure else None,
         )
 
     def __repr__(self) -> str:
+        if self.failure is not None:
+            return (
+                f"SolveResult({self.status}, {self.runtime:.3f}s, "
+                f"failure={self.failure.stage}/{self.failure.resource})"
+            )
         return f"SolveResult({self.status}, {self.runtime:.3f}s)"
+
+
+def exhausted_result(
+    exc: ResourceExhausted,
+    guard: ResourceGuard,
+    runtime: float,
+    stats: Optional[Dict[str, float]] = None,
+) -> SolveResult:
+    """The structured :data:`UNKNOWN` verdict for a budget-exhausted solve.
+
+    Every solver front end funnels a caught
+    :class:`~repro.errors.ResourceExhausted` through this: the verdict
+    is ``UNKNOWN`` (never a traceback, never a bare TO/MO string) and
+    ``failure`` carries the diagnosis — from the exception when the
+    raising guard attached one, else synthesized from the catching
+    solver's own guard.
+    """
+    failure = exc.diagnosis or guard.diagnosis(exc.resource)
+    return SolveResult(UNKNOWN, runtime, stats or {}, failure=failure)

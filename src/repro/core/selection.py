@@ -14,7 +14,7 @@ each pair with one selector variable, which preserves the optimum.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..formula.prefix import DependencyPrefix
 from ..maxsat.solver import PartialMaxSatSolver
@@ -47,8 +47,18 @@ class SelectionResult:
         return f"SelectionResult({self.variables}, pairs={self.num_pairs})"
 
 
-def select_elimination_set(prefix: DependencyPrefix) -> SelectionResult:
-    """Compute a minimum set of universals whose elimination yields a QBF."""
+def select_elimination_set(
+    prefix: DependencyPrefix,
+    conflict_limit: Optional[int] = None,
+    deadline: Optional[float] = None,
+) -> SelectionResult:
+    """Compute a minimum set of universals whose elimination yields a QBF.
+
+    ``conflict_limit``/``deadline`` bound the MaxSAT search; going over
+    budget raises :class:`~repro.errors.StageBudgetExceeded` (the
+    degradation ladder in HQS then falls back to
+    :func:`greedy_elimination_set`).
+    """
     pairs = incomparable_pairs(prefix)
     if not pairs:
         return SelectionResult([], 0, 0.0)
@@ -74,7 +84,7 @@ def select_elimination_set(prefix: DependencyPrefix) -> SelectionResult:
     for x in universals:
         solver.add_soft([-index[x]])
 
-    result = solver.solve()
+    result = solver.solve(conflict_limit=conflict_limit, deadline=deadline)
     if not result.satisfiable:  # pragma: no cover - Eq. 1 is always satisfiable
         raise AssertionError("elimination-set MaxSAT instance must be satisfiable")
     chosen = [x for x in universals if result.model.get(index[x], False)]
@@ -86,6 +96,51 @@ def select_elimination_set(prefix: DependencyPrefix) -> SelectionResult:
         conflicts=result.conflicts,
         decisions=result.decisions,
     )
+
+
+def greedy_elimination_set(prefix: DependencyPrefix) -> SelectionResult:
+    """Cheap, sound (not minimum) elimination set by greedy pair covering.
+
+    The degradation fallback when the MaxSAT search blows its budget:
+    every incomparable pair needs all of ``D_y \\ D_y'`` or all of
+    ``D_y' \\ D_y`` eliminated; repeatedly commit the universal variable
+    occurring in the most unresolved pair differences until every pair
+    has one side fully covered.  Pure dependency-graph arithmetic — no
+    SAT calls — so it cannot itself run away, and the result is always a
+    valid elimination set (each pair ends up resolved), merely possibly
+    larger than the MaxSAT optimum.
+    """
+    start = time.monotonic()
+    pairs = incomparable_pairs(prefix)
+    if not pairs:
+        return SelectionResult([], 0, 0.0)
+
+    sides: List[Tuple[Set[int], Set[int]]] = []
+    for y, y_prime in pairs:
+        d_y = prefix.dependencies(y)
+        d_yp = prefix.dependencies(y_prime)
+        sides.append((set(d_y - d_yp), set(d_yp - d_y)))
+
+    chosen: Set[int] = set()
+
+    def resolved(pair: Tuple[Set[int], Set[int]]) -> bool:
+        left, right = pair
+        return left <= chosen or right <= chosen
+
+    unresolved = [pair for pair in sides if not resolved(pair)]
+    while unresolved:
+        votes: Dict[int, int] = {}
+        for left, right in unresolved:
+            for x in left | right:
+                if x not in chosen:
+                    votes[x] = votes.get(x, 0) + 1
+        # max votes, ties broken by variable number for determinism
+        best = min(votes, key=lambda x: (-votes[x], x))
+        chosen.add(best)
+        unresolved = [pair for pair in unresolved if not resolved(pair)]
+
+    ordered = [x for x in prefix.universals if x in chosen]
+    return SelectionResult(ordered, len(pairs), time.monotonic() - start)
 
 
 def order_by_copy_cost(

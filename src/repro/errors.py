@@ -1,14 +1,111 @@
-"""Shared resource-limit exceptions.
+"""Shared resource-limit exceptions and the failure taxonomy.
 
 Defined at the top level so that low-level packages (``repro.aig``,
 ``repro.sat``) can signal limit exhaustion without importing the solver
 core; :mod:`repro.core.result` re-exports them.
+
+Every exhaustion exception derives from :class:`ResourceExhausted` and
+names the resource that ran out (``time``, ``nodes``, ``conflicts``).
+When raised by a :class:`~repro.core.guard.ResourceGuard` it carries a
+:class:`FailureDiagnosis` describing *where* the solve stood — the
+pipeline stage, the exhausted resource and a progress snapshot — which
+the solver front ends surface as ``SolveResult.failure`` instead of
+letting the traceback escape.
 """
 
+from __future__ import annotations
 
-class TimeoutExceeded(Exception):
+from typing import Dict, Optional
+
+
+class FailureDiagnosis:
+    """Machine-readable account of a resource-limited (partial) solve.
+
+    ``stage`` names the pipeline stage that was running when the budget
+    ran out (``preprocess``, ``selection``, ``elimination``, ``fraig``,
+    ``qbf-backend``, ``sat-endgame``, ...), ``resource`` the exhausted
+    budget (``time``, ``nodes`` or ``conflicts``), and ``progress`` a
+    snapshot of whatever forward progress the stage had made (eliminated
+    variables, matrix size, instantiation rounds, ...).
+    """
+
+    def __init__(
+        self,
+        stage: str,
+        resource: str,
+        progress: Optional[Dict[str, float]] = None,
+        elapsed: float = 0.0,
+    ) -> None:
+        self.stage = stage
+        self.resource = resource
+        self.progress = dict(progress or {})
+        self.elapsed = elapsed
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "stage": self.stage,
+            "resource": self.resource,
+            "progress": dict(self.progress),
+            "elapsed": self.elapsed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FailureDiagnosis":
+        return cls(
+            stage=str(data.get("stage", "unknown")),
+            resource=str(data.get("resource", "unknown")),
+            progress=dict(data.get("progress") or {}),
+            elapsed=float(data.get("elapsed", 0.0)),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FailureDiagnosis(stage={self.stage!r}, resource={self.resource!r}, "
+            f"elapsed={self.elapsed:.3f}s)"
+        )
+
+
+class ResourceExhausted(Exception):
+    """Base of every budget-exhaustion signal.
+
+    ``diagnosis`` is attached by the :class:`ResourceGuard` that raised
+    the exception; ad-hoc raises (deadline checks deep in the SAT
+    solver) may leave it ``None``, in which case the catching solver
+    synthesizes one from its own guard.
+    """
+
+    resource = "resource"
+
+    def __init__(self, message: str = "", diagnosis: Optional[FailureDiagnosis] = None):
+        super().__init__(message or self.resource)
+        self.diagnosis = diagnosis
+
+
+class TimeoutExceeded(ResourceExhausted):
     """Raised when a solve exceeds its wall-clock budget."""
 
+    resource = "time"
 
-class NodeLimitExceeded(Exception):
+
+class NodeLimitExceeded(ResourceExhausted):
     """Raised when a solve exceeds its AIG node budget (memout stand-in)."""
+
+    resource = "nodes"
+
+
+class ConflictLimitExceeded(ResourceExhausted):
+    """Raised when a solve exceeds its SAT-conflict budget."""
+
+    resource = "conflicts"
+
+
+class StageBudgetExceeded(ResourceExhausted):
+    """A *stage slice* (not the whole solve) ran out of budget.
+
+    Raised inside degradable pipeline stages (MaxSAT selection, FRAIG
+    sweeping, the QBF back-end) when their carved-out sub-budget is
+    gone.  Never escapes the solver: the degradation ladder catches it
+    and falls back to the cheaper alternative procedure.
+    """
+
+    resource = "stage"

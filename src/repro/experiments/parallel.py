@@ -51,7 +51,14 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..core.result import ERROR, MEMOUT, MISMATCH, TIMEOUT, UNKNOWN, Limits, SolveResult
 from ..pec.encode import PecInstance
 from ..pec.families import FAMILIES
-from .runner import SOLVERS, BenchConfig, RunRecord, _check_expected, generate_suite
+from .runner import (
+    SOLVERS,
+    BenchConfig,
+    RunRecord,
+    _check_expected,
+    generate_suite,
+    supports_checkpoint,
+)
 
 #: Seconds between supervisor polls of the live worker set.
 POLL_INTERVAL = 0.02
@@ -77,13 +84,22 @@ def default_grace(time_limit: Optional[float]) -> float:
 # ----------------------------------------------------------------------
 
 def _worker_entry(conn, instance: PecInstance, solver_name: str,
-                  time_limit: Optional[float], node_limit: Optional[int]) -> None:
-    """Solve one (instance, solver) pair and ship the outcome back."""
+                  time_limit: Optional[float], node_limit: Optional[int],
+                  checkpoint: Optional[str] = None) -> None:
+    """Solve one (instance, solver) pair and ship the outcome back.
+
+    ``checkpoint`` (for solvers that support it) makes the attempt
+    resumable: the solver picks up a matching snapshot left by a
+    previous killed/crashed worker and rewrites it as it progresses.
+    """
     started = time.monotonic()
     try:
         solver = SOLVERS[solver_name]
         limits = Limits(time_limit=time_limit, node_limit=node_limit)
-        result = solver(instance.formula.copy(), limits)
+        kwargs = {}
+        if checkpoint is not None and supports_checkpoint(solver):
+            kwargs["checkpoint"] = checkpoint
+        result = solver(instance.formula.copy(), limits, **kwargs)
         result = _check_expected(instance, solver_name, result)
         payload = result.as_dict()
     except BaseException:
@@ -109,14 +125,14 @@ class _Job:
 
     def __init__(self, ctx, instance: PecInstance, solver: str,
                  time_limit: Optional[float], node_limit: Optional[int],
-                 grace: float):
+                 grace: float, checkpoint: Optional[str] = None):
         self.instance = instance
         self.solver = solver
         recv, send = ctx.Pipe(duplex=False)
         self.conn = recv
         self.process = ctx.Process(
             target=_worker_entry,
-            args=(send, instance, solver, time_limit, node_limit),
+            args=(send, instance, solver, time_limit, node_limit, checkpoint),
             daemon=True,
         )
         self.process.start()
@@ -310,7 +326,9 @@ def run_records(
             while pending and len(live) < jobs:
                 instance, solver = pending.pop()
                 live.append(_Job(ctx, instance, solver,
-                                 config.timeout, config.node_limit, grace))
+                                 config.timeout, config.node_limit, grace,
+                                 checkpoint=config.checkpoint_path(
+                                     instance.name, solver)))
             finished_any = False
             for job in list(live):
                 payload = job.poll()

@@ -13,6 +13,10 @@ the benchmark harness scale without code changes:
                              share it to regenerate identical suites)
 ``REPRO_BENCH_JOBS``         worker processes for :func:`run_suite`
                              (1 = serial, in-process)
+``REPRO_BENCH_CHECKPOINT``   directory for per-(instance, solver)
+                             anytime checkpoints; killed or crashed
+                             workers restart from their last completed
+                             elimination instead of from scratch
 
 A solver answering against an instance's known expected status is
 recorded as a ``MISMATCH`` record rather than aborting the sweep; see
@@ -61,6 +65,7 @@ class BenchConfig:
         node_limit: Optional[int] = None,
         seed: Optional[int] = None,
         jobs: Optional[int] = None,
+        checkpoint_dir: Optional[str] = None,
     ):
         self.scale = scale if scale is not None else float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
         self.count = count if count is not None else int(os.environ.get("REPRO_BENCH_COUNT", "6"))
@@ -70,9 +75,21 @@ class BenchConfig:
         )
         self.seed = seed if seed is not None else int(os.environ.get("REPRO_BENCH_SEED", "2015"))
         self.jobs = jobs if jobs is not None else int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+        self.checkpoint_dir = (
+            checkpoint_dir
+            if checkpoint_dir is not None
+            else os.environ.get("REPRO_BENCH_CHECKPOINT") or None
+        )
 
     def limits(self) -> Limits:
         return Limits(time_limit=self.timeout, node_limit=self.node_limit)
+
+    def checkpoint_path(self, instance_name: str, solver: str) -> Optional[str]:
+        """Per-(instance, solver) checkpoint file, or ``None`` when off."""
+        if self.checkpoint_dir is None:
+            return None
+        os.makedirs(self.checkpoint_dir, exist_ok=True)
+        return os.path.join(self.checkpoint_dir, f"{instance_name}.{solver}.ckpt")
 
     def __repr__(self) -> str:
         return (
@@ -94,11 +111,19 @@ def _solve_dpll(formula: Dqbf, limits: Limits) -> SolveResult:
     return solve_dpll_dqbf(formula, limits)
 
 
+def _solve_hqs(formula: Dqbf, limits: Limits, checkpoint: Optional[str] = None) -> SolveResult:
+    return HqsSolver().solve(formula, limits, checkpoint=checkpoint)
+
+
+def _solve_hqs_probe(formula: Dqbf, limits: Limits, checkpoint: Optional[str] = None) -> SolveResult:
+    return HqsSolver(HqsOptions(use_sat_probe=True)).solve(
+        formula, limits, checkpoint=checkpoint
+    )
+
+
 SOLVERS: Dict[str, Callable[[Dqbf, Limits], SolveResult]] = {
-    "HQS": lambda formula, limits: HqsSolver().solve(formula, limits),
-    "HQS_PROBE": lambda formula, limits: HqsSolver(
-        HqsOptions(use_sat_probe=True)
-    ).solve(formula, limits),
+    "HQS": _solve_hqs,
+    "HQS_PROBE": _solve_hqs_probe,
     "IDQ": lambda formula, limits: IdqSolver().solve(formula, limits),
     "EXPANSION": lambda formula, limits: solve_expansion(formula, limits),
     "BDD": _solve_bdd,
@@ -106,10 +131,28 @@ SOLVERS: Dict[str, Callable[[Dqbf, Limits], SolveResult]] = {
 }
 
 
+def supports_checkpoint(solver: Callable) -> bool:
+    """Does this registry entry take a ``checkpoint`` keyword?
+
+    Decided by signature inspection (not by try/except on ``TypeError``,
+    which would mask genuine argument bugs inside the solver).
+    """
+    import inspect
+
+    try:
+        return "checkpoint" in inspect.signature(solver).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins/C callables
+        return False
+
+
 def run_solver(name: str, instance: PecInstance, config: BenchConfig) -> RunRecord:
     """Run one solver on one instance under the configured limits."""
     solver = SOLVERS[name]
-    result = solver(instance.formula.copy(), config.limits())
+    kwargs = {}
+    checkpoint = config.checkpoint_path(instance.name, name)
+    if checkpoint is not None and supports_checkpoint(solver):
+        kwargs["checkpoint"] = checkpoint
+    result = solver(instance.formula.copy(), config.limits(), **kwargs)
     result = _check_expected(instance, name, result)
     return RunRecord(instance, name, result)
 

@@ -74,6 +74,7 @@ def build_table(
             row = by_key[(family, record.solver)]
             row.instances += 1
             status = record.result.status
+            failure = record.result.failure
             if status == SAT:
                 row.solved += 1
                 row.sat += 1
@@ -84,6 +85,13 @@ def build_table(
                 row.timeouts += 1
             elif status == MEMOUT:
                 row.memouts += 1
+            elif failure is not None:
+                # Guard-produced UNKNOWN: classify by the exhausted
+                # resource, mirroring the legacy TIMEOUT/MEMOUT statuses.
+                if failure.resource == "nodes":
+                    row.memouts += 1
+                else:
+                    row.timeouts += 1
             if record.instance.name in common:
                 row.total_time_common += record.result.runtime
     return [by_key[key] for key in sorted(by_key, key=lambda k: (_family_order(k[0]), k[1]))]

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from ..errors import StageBudgetExceeded
 from ..sat.solver import SAT, UNSAT, CdclSolver
 from .totalizer import Totalizer
 
@@ -104,8 +105,20 @@ class PartialMaxSatSolver:
             if abs(lit) > self._max_var:
                 self._max_var = abs(lit)
 
-    def solve(self) -> MaxSatResult:
-        """Return the minimum number of violated soft clauses and a model."""
+    def solve(
+        self,
+        conflict_limit: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> MaxSatResult:
+        """Return the minimum number of violated soft clauses and a model.
+
+        ``conflict_limit`` bounds the *total* conflicts across every
+        bound of the linear search and ``deadline`` (a
+        ``time.monotonic`` timestamp) its wall clock; exhausting either
+        raises :class:`~repro.errors.StageBudgetExceeded` so a caller
+        with a degradation ladder (HQS elimination-set selection) can
+        fall back to a cheaper heuristic instead of sinking the solve.
+        """
         solver = self._injected if self._injected is not None else CdclSolver()
         solver.ensure_vars(self._max_var)
         for clause in self._hard:
@@ -115,13 +128,24 @@ class PartialMaxSatSolver:
         totals = {"conflicts": 0, "decisions": 0}
 
         def timed_solve(bound: int, assumptions: Sequence[int] = ()) -> str:
+            remaining_conflicts = None
+            if conflict_limit is not None:
+                remaining_conflicts = conflict_limit - totals["conflicts"]
+                if remaining_conflicts <= 0:
+                    raise StageBudgetExceeded("maxsat conflict budget exhausted")
             before = solver.statistics
-            status = solver.solve(assumptions)
+            status = solver.solve(
+                assumptions,
+                conflict_limit=remaining_conflicts,
+                deadline=deadline,
+            )
             after = solver.statistics
             spent = after["conflicts"] - before["conflicts"]
             per_bound[bound] = per_bound.get(bound, 0) + spent
             totals["conflicts"] += spent
             totals["decisions"] += after["decisions"] - before["decisions"]
+            if status not in (SAT, UNSAT):
+                raise StageBudgetExceeded("maxsat search budget exhausted")
             return status
 
         def result(satisfiable: bool, cost: int, model: Dict[int, bool],

@@ -18,7 +18,7 @@ from typing import Dict, Optional
 from ..aig.cnf_bridge import is_satisfiable, is_tautology
 from ..aig.graph import FALSE, TRUE, Aig, node_of
 from ..aig.unitpure import detect_unit_pure
-from ..core.result import Limits
+from ..core.guard import ResourceGuard
 from ..formula.prefix import EXISTS, FORALL, BlockedPrefix
 from ..formula.qbf import Qbf
 from ..sat.incremental import AigSatSession
@@ -41,7 +41,7 @@ def solve_aig_qbf(
     aig: Aig,
     root: int,
     prefix: BlockedPrefix,
-    limits: Optional[Limits] = None,
+    limits=None,
     use_unit_pure: bool = True,
     stats: Optional[QbfSolverStats] = None,
     compact_ratio: int = 4,
@@ -51,8 +51,11 @@ def solve_aig_qbf(
     """Decide the QBF given by ``prefix`` over the function at ``root``.
 
     ``prefix`` is consumed (mutated); pass a copy if it must survive.
-    Raises :class:`~repro.core.result.TimeoutExceeded` /
-    :class:`NodeLimitExceeded` when ``limits`` are exhausted.
+    ``limits`` accepts a :class:`~repro.core.result.Limits` *or* a
+    :class:`~repro.core.guard.ResourceGuard` — HQS hands down a guard
+    slice so this back-end shares the solve's clock instead of starting
+    its own; exhaustion raises the guard's
+    :class:`~repro.errors.ResourceExhausted` subclass.
 
     ``fused`` selects the single-pass AIG kernel (``cofactor2`` for
     quantification, batched ``restrict`` for unit/pure); the naive path
@@ -64,11 +67,12 @@ def solve_aig_qbf(
     elimination, so clauses learned there keep working here); without
     one each endgame builds a throwaway solver.
     """
-    limits = limits or Limits()
+    guard = ResourceGuard.ensure(limits)
+    guard.enter_stage("qbf-backend")
     stats = stats if stats is not None else QbfSolverStats()
 
     while True:
-        limits.check_time()
+        guard.check()
         if root == TRUE:
             return True
         if root == FALSE:
@@ -82,7 +86,8 @@ def solve_aig_qbf(
             aig = fresh
             if sat_session is not None:
                 sat_session.rebind(aig)
-        limits.check_nodes(aig.cone_size(root))
+        guard.check_nodes(aig.cone_size(root))
+        guard.note(qbf_quantifier_eliminations=float(stats.quantifier_eliminations))
 
         support = aig.support_of(root)
         for var in prefix.variables():
@@ -100,13 +105,13 @@ def solve_aig_qbf(
         if not blocks:
             # No quantified variables left but non-constant matrix cannot
             # happen for closed formulas; treat defensively via SAT.
-            return is_satisfiable(aig, root, limits.deadline(), sat_session)
+            return is_satisfiable(aig, root, guard.deadline(), sat_session)
         if len(blocks) == 1:
             quantifier, _variables = blocks[0]
             stats.sat_endgames += 1
             if quantifier == EXISTS:
-                return is_satisfiable(aig, root, limits.deadline(), sat_session)
-            return is_tautology(aig, root, limits.deadline(), sat_session)
+                return is_satisfiable(aig, root, guard.deadline(), sat_session)
+            return is_tautology(aig, root, guard.deadline(), sat_session)
 
         quantifier, variables = prefix.innermost_block()
         var = _cheapest_variable(aig, root, variables)
@@ -120,7 +125,7 @@ def solve_aig_qbf(
         stats.quantifier_eliminations += 1
 
 
-def solve_qbf(formula: Qbf, limits: Optional[Limits] = None, **kwargs) -> bool:
+def solve_qbf(formula: Qbf, limits=None, **kwargs) -> bool:
     """Convenience entry point from a CNF-based :class:`Qbf`."""
     from ..aig.cnf_bridge import cnf_to_aig
 

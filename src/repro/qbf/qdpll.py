@@ -11,16 +11,22 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from ..core.result import Limits
+from ..core.guard import ResourceGuard
 from ..formula.lits import var_of
 from ..formula.prefix import EXISTS, FORALL
 from ..formula.qbf import Qbf
 
 
-def solve_qdpll(formula: Qbf, limits: Optional[Limits] = None) -> bool:
-    """Decide a prenex CNF QBF by quantifier-order DPLL search."""
+def solve_qdpll(formula: Qbf, limits=None) -> bool:
+    """Decide a prenex CNF QBF by quantifier-order DPLL search.
+
+    ``limits`` accepts a :class:`~repro.core.result.Limits` or a
+    :class:`~repro.core.guard.ResourceGuard`; the search shares the
+    caller's clock instead of restarting its own.
+    """
     formula.validate()
-    limits = limits or Limits()
+    guard = ResourceGuard.ensure(limits)
+    guard.enter_stage("qdpll-search")
     order: List[Tuple[int, str]] = []
     for quantifier, variables in formula.prefix.blocks:
         for var in variables:
@@ -28,7 +34,7 @@ def solve_qdpll(formula: Qbf, limits: Optional[Limits] = None) -> bool:
     quantifier_of = {var: q for var, q in order}
     clauses = [frozenset(c) for c in formula.matrix]
     position = {var: i for i, (var, _) in enumerate(order)}
-    return _search(clauses, order, 0, quantifier_of, position, limits)
+    return _search(clauses, order, 0, quantifier_of, position, guard)
 
 
 def _search(
@@ -37,9 +43,9 @@ def _search(
     depth: int,
     quantifier_of: Dict[int, str],
     position: Dict[int, int],
-    limits: Limits,
+    guard: ResourceGuard,
 ) -> bool:
-    limits.check_time()
+    guard.check()
     simplified = _simplify(clauses, quantifier_of, position)
     if simplified is None:
         return False
@@ -70,7 +76,7 @@ def _search(
             results.append(False)
         else:
             results.append(
-                _search(branch, order, depth, quantifier_of, position, limits)
+                _search(branch, order, depth, quantifier_of, position, guard)
             )
         # short-circuit
         if quantifier == EXISTS and results[-1]:

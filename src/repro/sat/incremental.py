@@ -111,12 +111,18 @@ class AigSatSession:
         solver: Optional[CdclSolver] = None,
         stats: Optional[SatServiceStats] = None,
         max_clauses: Optional[int] = None,
+        guard=None,
     ) -> None:
         self.aig = aig
         self.generation = aig.cache_generation
         self.persistent = persistent
         self.stats = stats if stats is not None else SatServiceStats()
         self.max_clauses = max_clauses
+        #: Optional :class:`~repro.core.guard.ResourceGuard`: every query
+        #: charges its conflicts there, so a solver-wide SAT-conflict
+        #: budget covers FRAIG miters, constant checks and endgames
+        #: without each call site doing its own accounting.
+        self.guard = guard
         self._solver = solver if solver is not None else CdclSolver()
         #: external input label -> solver variable (survives rebinds)
         self._input_var: Dict[int, int] = {}
@@ -235,9 +241,12 @@ class AigSatSession:
             assumptions, conflict_limit=conflict_limit, deadline=deadline
         )
         after = solver.statistics
-        stats.conflicts += after["conflicts"] - before["conflicts"]
+        spent = after["conflicts"] - before["conflicts"]
+        stats.conflicts += spent
         stats.decisions += after["decisions"] - before["decisions"]
         stats.propagations += after["propagations"] - before["propagations"]
+        if self.guard is not None:
+            self.guard.charge_conflicts(spent)
         if status == SAT:
             stats.sat_answers += 1
         elif status == UNSAT:

@@ -4,7 +4,7 @@ from hypothesis import given, settings
 
 from repro.baselines.expansion import expansion_options, solve_expansion
 from repro.baselines.idq import IdqSolver
-from repro.core.result import Limits, SAT, TIMEOUT, UNSAT
+from repro.core.result import Limits, SAT, UNKNOWN, UNSAT
 from repro.formula.dqbf import Dqbf, expansion_solve
 
 from conftest import dqbf_strategy
@@ -47,7 +47,9 @@ class TestIdq:
 
         formula = make_comp(8, 3, buggy=False, seed=3).formula
         result = IdqSolver().solve(formula, Limits(time_limit=0.01))
-        assert result.status == TIMEOUT
+        assert result.status == UNKNOWN
+        assert result.failure is not None
+        assert result.failure.resource == "time"
 
     def test_instance_atom_sharing(self):
         """Universal branches agreeing on D_y must share the y atom: with
@@ -78,4 +80,6 @@ class TestExpansionBaseline:
 
         formula = make_comp(8, 3, buggy=False, seed=3).formula
         result = solve_expansion(formula, Limits(time_limit=0.0))
-        assert result.status == TIMEOUT
+        assert result.status == UNKNOWN
+        assert result.failure is not None
+        assert result.failure.resource == "time"

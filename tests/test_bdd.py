@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 
 from repro.bdd.graph import Bdd, cnf_to_bdd
 from repro.bdd.solver import solve_bdd
-from repro.core.result import MEMOUT, SAT, TIMEOUT, UNSAT, Limits
+from repro.core.result import SAT, UNKNOWN, UNSAT, Limits
 from repro.formula.dqbf import Dqbf, expansion_solve
 
 from conftest import cnf_strategy, dqbf_strategy
@@ -136,9 +136,14 @@ class TestBddSolver:
         from repro.pec.families import make_comp
 
         formula = make_comp(8, 3, buggy=False, seed=3).formula
-        assert solve_bdd(formula.copy(), Limits(time_limit=0.0)).status == TIMEOUT
+        timed_out = solve_bdd(formula.copy(), Limits(time_limit=0.0))
+        assert timed_out.status == UNKNOWN
+        assert timed_out.failure is not None
+        assert timed_out.failure.resource == "time"
         result = solve_bdd(formula.copy(), Limits(node_limit=1, time_limit=5))
-        assert result.status in (MEMOUT, TIMEOUT)
+        assert result.status == UNKNOWN
+        assert result.failure is not None
+        assert result.failure.resource in ("nodes", "time")
 
     def test_stats(self):
         formula = Dqbf.build(

@@ -1,0 +1,212 @@
+"""Anytime checkpoint/resume tests.
+
+A checkpoint snapshots the elimination loop after each eliminated
+universal; a resumed solve must reach the same verdict as a fresh one,
+mismatched or corrupt files must fall back to a fresh solve, and a
+completed solve must clean its checkpoint up.
+"""
+
+import json
+import os
+
+from hypothesis import given, settings
+
+from conftest import dqbf_strategy
+from repro.aig.cnf_bridge import cnf_to_aig
+from repro.core.checkpoint import (
+    CHECKPOINT_VERSION,
+    SolverCheckpoint,
+    discard,
+    formula_fingerprint,
+)
+from repro.core.hqs import HqsSolver
+from repro.core.result import Limits, SAT, UNKNOWN, UNSAT
+from repro.core.state import AigDqbf
+from repro.formula.dqbf import Dqbf
+from repro.formula.prefix import DependencyPrefix
+from repro.pec.families import make_bitcell, make_comp
+
+
+def _small_state() -> AigDqbf:
+    clauses = [[1, 2, 3], [-1, -2, 4], [3, -4, 1], [-3, 4, -2]]
+    aig, root = cnf_to_aig(clauses)
+    prefix = DependencyPrefix()
+    prefix.add_universal(1)
+    prefix.add_universal(2)
+    prefix.add_existential(3, [1])
+    prefix.add_existential(4, [1, 2])
+    return AigDqbf(aig, root, prefix, next_var=5)
+
+
+class TestFingerprint:
+    def test_stable_across_copies(self):
+        formula = make_bitcell(4, 1, buggy=True, seed=5).formula
+        assert formula_fingerprint(formula) == formula_fingerprint(formula.copy())
+
+    def test_differs_across_instances(self):
+        a = make_bitcell(4, 1, buggy=True, seed=5).formula
+        b = make_bitcell(4, 1, buggy=False, seed=5).formula
+        assert formula_fingerprint(a) != formula_fingerprint(b)
+
+
+class TestRoundTrip:
+    def test_capture_save_load_restore(self, tmp_path):
+        state = _small_state()
+        checkpoint = SolverCheckpoint.capture(
+            fingerprint="fp",
+            state=state,
+            elimination_pool=[1, 2],
+            eliminations={"universal": 3, "existential": 2},
+            stats={"checkpoint_writes": 1, "label": "dropped-non-numeric"},
+            elapsed=1.25,
+            conflicts=17,
+        )
+        path = str(tmp_path / "state.ckpt")
+        checkpoint.save(path)
+        loaded = SolverCheckpoint.load(path)
+
+        assert loaded.fingerprint == "fp"
+        assert loaded.elimination_pool == [1, 2]
+        assert loaded.eliminations == {"universal": 3, "existential": 2}
+        assert loaded.elapsed == 1.25
+        assert loaded.conflicts == 17
+        # Non-numeric stats are filtered at capture time.
+        assert "label" not in loaded.stats
+
+        restored = loaded.restore_state()
+        assert restored.prefix == state.prefix
+        assert restored.next_var == state.next_var
+        # The restored matrix is the same Boolean function (node
+        # numbering may shift across the AIGER round trip).
+        variables = sorted(state.aig.support(state.root))
+        assert sorted(restored.aig.support(restored.root)) == variables
+        for bits in range(1 << len(variables)):
+            assignment = {
+                var: bool(bits >> i & 1) for i, var in enumerate(variables)
+            }
+            assert restored.aig.evaluate(restored.root, assignment) == \
+                state.aig.evaluate(state.root, assignment)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        state = _small_state()
+        checkpoint = SolverCheckpoint.capture(
+            fingerprint="fp", state=state, elimination_pool=[],
+            eliminations={}, stats={}, elapsed=0.0, conflicts=0,
+        )
+        payload = checkpoint.as_dict()
+        payload["version"] = CHECKPOINT_VERSION + 1
+        path = tmp_path / "future.ckpt"
+        path.write_text(json.dumps(payload))
+        assert SolverCheckpoint.try_load(str(path)) is None
+
+    def test_try_load_missing_corrupt_mismatched(self, tmp_path):
+        missing = str(tmp_path / "nope.ckpt")
+        assert SolverCheckpoint.try_load(missing) is None
+
+        corrupt = tmp_path / "corrupt.ckpt"
+        corrupt.write_text("{not json")
+        assert SolverCheckpoint.try_load(str(corrupt)) is None
+
+        state = _small_state()
+        checkpoint = SolverCheckpoint.capture(
+            fingerprint="right", state=state, elimination_pool=[],
+            eliminations={}, stats={}, elapsed=0.0, conflicts=0,
+        )
+        path = str(tmp_path / "ok.ckpt")
+        checkpoint.save(path)
+        assert SolverCheckpoint.try_load(path, "wrong") is None
+        assert SolverCheckpoint.try_load(path, "right") is not None
+
+    def test_discard_tolerates_missing(self, tmp_path):
+        discard(None)
+        discard(str(tmp_path / "never-existed.ckpt"))
+
+    @settings(max_examples=50, deadline=None)
+    @given(dqbf_strategy(max_universals=3, max_existentials=3, max_clauses=8))
+    def test_round_trip_preserves_state_property(self, formula):
+        aig, root = cnf_to_aig(formula.matrix.clauses)
+        prefix = formula.prefix
+        next_var = max(prefix.all_variables() + [formula.matrix.num_vars, 0]) + 1
+        state = AigDqbf(aig, root, prefix, next_var)
+
+        checkpoint = SolverCheckpoint.capture(
+            fingerprint=formula_fingerprint(formula), state=state,
+            elimination_pool=list(prefix.universals), eliminations={},
+            stats={}, elapsed=0.0, conflicts=0,
+        )
+        restored = SolverCheckpoint.from_dict(
+            json.loads(json.dumps(checkpoint.as_dict()))
+        ).restore_state()
+
+        assert restored.prefix == state.prefix
+        assert restored.next_var == state.next_var
+        variables = sorted(state.aig.support(state.root)) if root > 1 else []
+        assert (sorted(restored.aig.support(restored.root))
+                if restored.root > 1 else []) == variables
+        for bits in range(1 << len(variables)):
+            assignment = {
+                var: bool(bits >> i & 1) for i, var in enumerate(variables)
+            }
+            assert restored.aig.evaluate(restored.root, assignment) == \
+                state.aig.evaluate(state.root, assignment)
+
+
+class TestInterruptResume:
+    def test_resume_reaches_fresh_verdict(self, tmp_path):
+        instance = make_comp(6, 2, buggy=True, seed=11)
+        formula = instance.formula
+        path = str(tmp_path / "comp.ckpt")
+
+        fresh = HqsSolver().solve(formula.copy(), Limits(time_limit=300))
+        assert fresh.status in (SAT, UNSAT)
+
+        # Interrupt deterministically: a node budget between the initial
+        # and the peak matrix size lets some universals go through (each
+        # writes a checkpoint) before the budget trips.
+        interrupted = None
+        for node_limit in (400, 800, 1600, 3200, 6400):
+            candidate = HqsSolver().solve(
+                formula.copy(),
+                Limits(time_limit=300, node_limit=node_limit),
+                checkpoint=path,
+            )
+            if candidate.status == UNKNOWN and os.path.exists(path):
+                interrupted = candidate
+                break
+        assert interrupted is not None, "no node budget interrupted mid-solve"
+        assert interrupted.stats.get("checkpoint_writes", 0) >= 1
+
+        resumed = HqsSolver().solve(
+            formula.copy(), Limits(time_limit=300), checkpoint=path
+        )
+        assert resumed.status == fresh.status
+        assert resumed.stats.get("checkpoint_resumed") == 1
+        assert resumed.stats.get("prior_elapsed", 0) > 0
+        # Completed solve cleans up after itself.
+        assert not os.path.exists(path)
+
+    def test_checkpoint_removed_on_straight_success(self, tmp_path):
+        formula = make_bitcell(4, 1, buggy=True, seed=62).formula
+        path = str(tmp_path / "easy.ckpt")
+        result = HqsSolver().solve(formula, Limits(time_limit=120), checkpoint=path)
+        assert result.status in (SAT, UNSAT)
+        assert not os.path.exists(path)
+
+    def test_mismatched_checkpoint_falls_back_to_fresh(self, tmp_path):
+        other = make_bitcell(4, 1, buggy=False, seed=9).formula
+        target = make_bitcell(4, 1, buggy=True, seed=62)
+        path = str(tmp_path / "stale.ckpt")
+
+        # Leave a checkpoint for a *different* formula at the path.
+        state = _small_state()
+        SolverCheckpoint.capture(
+            fingerprint=formula_fingerprint(other), state=state,
+            elimination_pool=[], eliminations={}, stats={},
+            elapsed=0.0, conflicts=0,
+        ).save(path)
+
+        result = HqsSolver().solve(
+            target.formula.copy(), Limits(time_limit=120), checkpoint=path
+        )
+        assert result.status == (SAT if target.expected else UNSAT)
+        assert "checkpoint_resumed" not in result.stats

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import EXIT_SAT, EXIT_UNKNOWN, EXIT_UNSAT, build_parser, main
+from repro.cli import EXIT_SAT, EXIT_TIMEOUT, EXIT_UNSAT, build_parser, main
 
 SAT_INSTANCE = """\
 p cnf 4 4
@@ -63,14 +63,14 @@ class TestCli:
         )
         assert main(["--no-qbf", sat_file]) == EXIT_SAT
 
-    def test_timeout_flag_unknown(self, tmp_path):
+    def test_timeout_flag_exit_code(self, tmp_path):
         from repro.pec.families import make_comp
         from repro.formula.dqdimacs import save_dqdimacs
 
         instance = make_comp(8, 3, buggy=False, seed=3)
         path = tmp_path / "hard.dqdimacs"
         save_dqdimacs(instance.formula, str(path))
-        assert main(["--timeout", "0.01", str(path)]) == EXIT_UNKNOWN
+        assert main(["--timeout", "0.01", str(path)]) == EXIT_TIMEOUT
 
     def test_parser_defaults(self):
         args = build_parser().parse_args(["f.dqdimacs"])

@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 
 from repro.baselines.dpll import DpllDqbfSolver, solve_dpll_dqbf
-from repro.core.result import Limits, SAT, TIMEOUT, UNSAT
+from repro.core.result import Limits, SAT, UNKNOWN, UNSAT
 from repro.formula.dqbf import Dqbf, expansion_solve
 
 from conftest import dqbf_strategy
@@ -59,7 +59,9 @@ class TestStatsAndLimits:
 
         formula = make_adder(5, 2, buggy=False, seed=1).formula
         result = solve_dpll_dqbf(formula, Limits(time_limit=0.05))
-        assert result.status == TIMEOUT
+        assert result.status == UNKNOWN
+        assert result.failure is not None
+        assert result.failure.resource == "time"
 
     def test_deep_universal_tree_no_recursion_error(self):
         """12 universals = 4096 leaves: must not hit the recursion limit."""

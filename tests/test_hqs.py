@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 
 from repro.core.hqs import HqsOptions, HqsSolver, solve_dqbf
-from repro.core.result import Limits, MEMOUT, SAT, TIMEOUT, UNSAT
+from repro.core.result import Limits, SAT, UNKNOWN, UNSAT
 from repro.formula.dqbf import Dqbf, expansion_solve
 
 from conftest import dqbf_strategy
@@ -100,11 +100,15 @@ class TestLimits:
 
     def test_timeout_reported(self):
         result = solve_dqbf(self._hard_instance(), limits=Limits(time_limit=0.0))
-        assert result.status == TIMEOUT
+        assert result.status == UNKNOWN
+        assert result.failure is not None
+        assert result.failure.resource == "time"
 
     def test_node_limit_reported(self):
         result = solve_dqbf(self._hard_instance(), limits=Limits(node_limit=1))
-        assert result.status in (MEMOUT, TIMEOUT)
+        assert result.status == UNKNOWN
+        assert result.failure is not None
+        assert result.failure.resource in ("nodes", "time")
 
     def test_result_solved_flag(self):
         formula = Dqbf.build([1], [(2, [1])], [[2, 1]])
