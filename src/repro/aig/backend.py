@@ -1,0 +1,110 @@
+"""Backend selection for the AIG array kernels.
+
+The AIG core stores nodes in flat parallel arrays (struct-of-arrays).
+On top of that storage two kernel backends implement the hot paths —
+cone marking, dependency masks, bit-parallel simulation, support/level
+sweeps:
+
+* ``python`` — pure-Python loops over the flat arrays; always available
+  and the reference semantics;
+* ``numpy`` — vectorized kernels over mirrored ``numpy`` arrays
+  (``pip install repro[fast]``), selected automatically when numpy
+  imports.
+
+The default is chosen **once, at import time**, from the
+``REPRO_AIG_BACKEND`` environment variable:
+
+* ``auto`` (or unset): ``numpy`` when importable, else ``python``;
+* ``numpy``: require numpy, raise if it is missing;
+* ``python``: force the pure-Python kernels even when numpy exists.
+
+Individual :class:`~repro.aig.graph.Aig` managers can override the
+default with ``Aig(backend=...)`` — that is how the equivalence tests
+compare both backends inside one process.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+_ENV_VAR = "REPRO_AIG_BACKEND"
+_CHOICES = ("auto", "numpy", "python")
+
+#: The numpy module when the numpy backend is usable, else ``None``.
+_numpy = None
+
+
+def _import_numpy():
+    global _numpy
+    if _numpy is None:
+        import numpy  # noqa: PLC0415 - deliberate lazy optional import
+
+        _numpy = numpy
+    return _numpy
+
+
+def _select_default() -> str:
+    choice = os.environ.get(_ENV_VAR, "auto").strip().lower() or "auto"
+    if choice not in _CHOICES:
+        raise RuntimeError(
+            f"{_ENV_VAR}={choice!r} is not a valid backend; "
+            f"choose one of {', '.join(_CHOICES)}"
+        )
+    if choice == "python":
+        return "python"
+    try:
+        _import_numpy()
+    except ImportError:
+        if choice == "numpy":
+            raise RuntimeError(
+                f"{_ENV_VAR}=numpy requested but numpy is not installed "
+                "(pip install repro[fast])"
+            ) from None
+        return "python"
+    return "numpy"
+
+
+#: Backend used by managers constructed without an explicit override.
+DEFAULT_BACKEND: str = _select_default()
+
+
+def numpy_available() -> bool:
+    """True when the numpy kernels can be used in this process."""
+    try:
+        _import_numpy()
+    except ImportError:
+        return False
+    return True
+
+
+def get_numpy():
+    """Return the numpy module; raises ``RuntimeError`` when missing."""
+    try:
+        return _import_numpy()
+    except ImportError:
+        raise RuntimeError(
+            "the numpy AIG backend was requested but numpy is not "
+            "installed (pip install repro[fast])"
+        ) from None
+
+
+def resolve_backend(name: Optional[str] = None) -> str:
+    """Resolve a backend request to ``'python'`` or ``'numpy'``.
+
+    ``None`` picks the import-time default; ``'auto'`` re-evaluates
+    numpy availability; explicit names are validated (``'numpy'``
+    raises when numpy is missing instead of silently degrading).
+    """
+    if name is None:
+        return DEFAULT_BACKEND
+    name = name.strip().lower()
+    if name not in _CHOICES:
+        raise ValueError(
+            f"unknown AIG backend {name!r}; choose one of {', '.join(_CHOICES)}"
+        )
+    if name == "auto":
+        return "numpy" if numpy_available() else "python"
+    if name == "numpy":
+        get_numpy()  # raise early with a clear message
+    return name

@@ -26,7 +26,13 @@ if TYPE_CHECKING:
 
 
 def cnf_to_aig(clauses: Iterable[Iterable[int]], aig: Optional[Aig] = None) -> Tuple[Aig, int]:
-    """Build a balanced AND tree of clause disjunctions."""
+    """Build a balanced AND tree of clause disjunctions.
+
+    Pass an existing manager to control where (and on which kernel
+    backend, see ``Aig(backend=...)``) the matrix is built; node
+    numbering is construction-order deterministic either way, so the
+    Tseitin auxiliaries derived from it are backend-independent.
+    """
     aig = aig if aig is not None else Aig()
     clause_edges: List[int] = []
     for clause in clauses:

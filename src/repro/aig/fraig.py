@@ -21,16 +21,35 @@ and drives its SAT queries through a shared
 :class:`~repro.sat.incremental.AigSatSession` so learned clauses
 persist from sweep to sweep.  :func:`fraig_root` remains the one-shot
 entry point.
+
+Simulation words live in a backend-specific *word table*:
+:class:`_PyWordTable` keeps the historical ``Dict[int, int]`` Python
+bignums; managers on the numpy backend use
+:class:`~repro.aig._npkernels.NumpyWordTable`, a ``(nodes, words)``
+``uint64`` array simulated one level group at a time.  Both expose the
+same dict-like face (``get``/``items``/``keys``/``in``) plus
+``simulate``/``canon``/``absorb``, and both make identical merge
+decisions — the class structure depends only on which node words are
+equal or complementary, not on the table's internal bit order.
+
+Missing external variables no longer ``KeyError`` out of
+:func:`simulate`: they are filled with deterministic fresh random words
+(a pure function of the seed, label and width) and written back into
+the caller's pattern map, so an engine sharing that map absorbs the
+fill into its state.
 """
 
 from __future__ import annotations
 
 import random
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..sat.incremental import AigSatSession
 from .graph import Aig, FALSE, TRUE, complement, is_complemented, node_of
+
+#: Default pattern seed (HQS's publication year, as elsewhere in repro).
+DEFAULT_SEED = 2015
 
 
 class FraigOptions:
@@ -40,7 +59,7 @@ class FraigOptions:
         self,
         num_patterns: int = 64,
         max_sat_conflicts: int = 2000,
-        seed: int = 2015,
+        seed: int = DEFAULT_SEED,
         use_counterexamples: bool = True,
         max_extra_patterns: int = 256,
     ):
@@ -56,25 +75,143 @@ class FraigOptions:
         self.max_extra_patterns = max_extra_patterns
 
 
-def simulate(aig: Aig, root: int, patterns: Dict[int, int], width: int) -> Dict[int, int]:
+def _pattern_fill(seed: int):
+    """A ``pattern_word`` resolver that back-fills absent labels.
+
+    The fill is a deterministic function of ``(seed, label, width)`` —
+    independent of call order — and is stored back into the pattern
+    map, so later queries (and an engine sharing the map) see the same
+    word.
+    """
+
+    def resolve(patterns: Dict[int, int], label: int, width: int) -> int:
+        word = patterns.get(label)
+        if word is None:
+            rng = random.Random((seed * 0x9E3779B1) ^ (label * 0x85EBCA77))
+            word = rng.getrandbits(width) if width else 0
+            patterns[label] = word
+        return word
+
+    return resolve
+
+
+class _PyWordTable:
+    """Per-node simulation words as Python bignums (reference backend).
+
+    The canonical signature phase is the LSB of the node's word; an
+    absorbed counterexample shifts every word left and lands in that
+    LSB.  (The numpy table appends at the MSB instead — the bit orders
+    differ, but merge decisions only depend on equality/complement of
+    whole words, which any fixed bit permutation preserves.)
+    """
+
+    is_numpy = False
+
+    def __init__(self) -> None:
+        self.width = 0
+        self._words: Dict[int, int] = {}
+
+    # dict-like face (tests and callers introspect the cached words)
+    def __contains__(self, node: int) -> bool:
+        return node in self._words
+
+    def __getitem__(self, node: int) -> int:
+        return self._words[node]
+
+    def get(self, node: int, default: Optional[int] = None) -> Optional[int]:
+        return self._words.get(node, default)
+
+    def keys(self):
+        return self._words.keys()
+
+    def items(self):
+        return self._words.items()
+
+    def word(self, node: int) -> int:
+        return self._words[node]
+
+    def mark_constant(self, width: int) -> None:
+        self._words[0] = 0
+        self.width = width
+
+    def simulate(self, aig: Aig, root: int, patterns: Dict[int, int],
+                 width: int, pattern_word=None) -> None:
+        """Fill words for every not-yet-known node in the cone of ``root``."""
+        resolve = pattern_word if pattern_word is not None else (
+            lambda mapping, label, _width: mapping[label]
+        )
+        mask = (1 << width) - 1
+        words = self._words
+        for node in aig.cone_nodes(root):
+            if node in words:
+                continue
+            if node == 0:
+                words[node] = 0
+            elif aig.is_input(node):
+                words[node] = resolve(patterns, aig.input_label(node), width) & mask
+            else:
+                f0, f1 = aig.fanins(node)
+                w0 = words[node_of(f0)] ^ (mask if is_complemented(f0) else 0)
+                w1 = words[node_of(f1)] ^ (mask if is_complemented(f1) else 0)
+                words[node] = w0 & w1
+        self.width = width
+
+    def canon(self, node: int) -> Tuple[int, bool]:
+        """Canonical (up to complement) signature key and phase bit."""
+        mask = (1 << self.width) - 1
+        word = self._words[node]
+        phase = bool(word & 1)
+        return ((word ^ mask) if phase else word, phase)
+
+    def absorb(self, aig: Aig, cone: List[int], assignment: Dict[int, bool],
+               patterns: Dict[int, int]) -> None:
+        """Append the distinguishing input as one new bit to every word."""
+        for label in patterns:
+            bit = 1 if assignment.get(label, False) else 0
+            patterns[label] = (patterns[label] << 1) | bit
+        words = self._words
+        bits: Dict[int, int] = {}
+        for node in cone:
+            if node == 0:
+                bit = 0
+            elif aig.is_input(node):
+                bit = 1 if assignment.get(aig.input_label(node), False) else 0
+            else:
+                f0, f1 = aig.fanins(node)
+                b0 = bits[node_of(f0)] ^ (1 if is_complemented(f0) else 0)
+                b1 = bits[node_of(f1)] ^ (1 if is_complemented(f1) else 0)
+                bit = b0 & b1
+            bits[node] = bit
+            words[node] = (words[node] << 1) | bit
+        self.width += 1
+
+
+def _new_word_table(aig: Aig):
+    """Word table matching the manager's kernel backend."""
+    if aig.backend == "numpy":
+        from ._npkernels import NumpyWordTable
+
+        return NumpyWordTable(aig._np)
+    return _PyWordTable()
+
+
+def simulate(
+    aig: Aig,
+    root: int,
+    patterns: Dict[int, int],
+    width: int,
+    seed: int = DEFAULT_SEED,
+) -> Dict[int, int]:
     """Bit-parallel simulation of the cone of ``root``.
 
     ``patterns`` maps external variables to ``width``-bit words; returns
-    the word computed at every node in the cone.
+    the word computed at every node in the cone.  Labels absent from
+    ``patterns`` are filled with deterministic fresh random words
+    (seeded by ``seed``) and written back into ``patterns``.
     """
-    mask = (1 << width) - 1
-    words: Dict[int, int] = {}
-    for node in aig.cone_nodes(root):
-        if node == 0:
-            words[node] = 0
-        elif aig.is_input(node):
-            words[node] = patterns[aig.input_label(node)] & mask
-        else:
-            f0, f1 = aig.fanins(node)
-            w0 = words[node_of(f0)] ^ (mask if is_complemented(f0) else 0)
-            w1 = words[node_of(f1)] ^ (mask if is_complemented(f1) else 0)
-            words[node] = w0 & w1
-    return words
+    table = _new_word_table(aig)
+    table.simulate(aig, root, patterns, width, pattern_word=_pattern_fill(seed))
+    return {node: table.word(node) for node in aig.cone_nodes(root)}
 
 
 class FraigEngine:
@@ -85,9 +222,10 @@ class FraigEngine:
     * the pattern words per external variable — including every absorbed
       counterexample bit, so a distinguishing input found in round *k*
       keeps splitting classes in round *k+n*;
-    * the per-node simulation words of the most recent result manager —
-      when the next sweep arrives on the same manager (HQS appends
-      elimination nodes in place), only the new nodes are simulated;
+    * the per-node simulation word table of the most recent result
+      manager — when the next sweep arrives on the same manager (HQS
+      appends elimination nodes in place), only the new nodes are
+      simulated;
     * optionally a shared :class:`AigSatSession` whose learned clauses
       carry across sweeps (pass one explicitly or per ``sweep`` call).
     """
@@ -108,49 +246,22 @@ class FraigEngine:
         #: in structural-hashing-only mode (no further SAT merges).
         self.degraded_sweeps = 0
         self.last_sweep_degraded = False
-        # Simulation-word cache for the manager produced by the last
+        # Simulation-word table for the manager produced by the last
         # sweep.  Keyed by identity (plus pattern width): nodes are
         # append-only with immutable fanins, so cached words stay valid
         # for the lifetime of that manager object.
         self._sim_aig: Optional[Aig] = None
-        self._sim_words: Dict[int, int] = {}
+        self._sim_words = _PyWordTable()
 
     # ------------------------------------------------------------------
     # pattern bookkeeping
     # ------------------------------------------------------------------
-    def _ensure_patterns(self, labels) -> None:
+    def _ensure_patterns(self, labels: Iterable[int]) -> None:
         if self._width == 0:
             self._width = self.options.num_patterns
         for label in labels:
             if label not in self._patterns:
                 self._patterns[label] = self._rng.getrandbits(self._width)
-
-    def _absorb_counterexample(
-        self,
-        aig: Aig,
-        cone: List[int],
-        words: Dict[int, int],
-        assignment: Dict[int, bool],
-    ) -> None:
-        """Append the distinguishing input as one new bit to every word."""
-        self._width += 1
-        for label in self._patterns:
-            bit = 1 if assignment.get(label, False) else 0
-            self._patterns[label] = (self._patterns[label] << 1) | bit
-        bits: Dict[int, int] = {}
-        for node in cone:
-            if node == 0:
-                bit = 0
-            elif aig.is_input(node):
-                bit = 1 if assignment.get(aig.input_label(node), False) else 0
-            else:
-                f0, f1 = aig.fanins(node)
-                b0 = bits[node_of(f0)] ^ (1 if is_complemented(f0) else 0)
-                b1 = bits[node_of(f1)] ^ (1 if is_complemented(f1) else 0)
-                bit = b0 & b1
-            bits[node] = bit
-            words[node] = (words[node] << 1) | bit
-        self.counterexamples_absorbed += 1
 
     # ------------------------------------------------------------------
     # the sweep
@@ -178,7 +289,7 @@ class FraigEngine:
         options = self.options
         self.last_sweep_degraded = False
         if root in (TRUE, FALSE):
-            return Aig(), root
+            return Aig(backend=aig.backend), root
         self.sweeps += 1
 
         session = session or self.session
@@ -191,36 +302,23 @@ class FraigEngine:
         self._ensure_patterns(
             aig.input_label(n) for n in cone if aig.is_input(n)
         )
-        # Reuse cached words when sweeping the same manager again (HQS
-        # appends elimination nodes in place between rounds); otherwise
-        # simulate the cone from scratch.
+        # Reuse the cached word table when sweeping the same manager
+        # again (HQS appends elimination nodes in place between rounds);
+        # otherwise simulate the cone from scratch.
         if aig is self._sim_aig:
-            words = self._sim_words
+            table = self._sim_words
         else:
-            words = {}
-        mask = (1 << self._width) - 1
-        for node in cone:
-            if node in words:
-                continue
-            if node == 0:
-                words[node] = 0
-            elif aig.is_input(node):
-                words[node] = self._patterns[aig.input_label(node)] & mask
-            else:
-                f0, f1 = aig.fanins(node)
-                w0 = words[node_of(f0)] ^ (mask if is_complemented(f0) else 0)
-                w1 = words[node_of(f1)] ^ (mask if is_complemented(f1) else 0)
-                words[node] = w0 & w1
-
-        def canon_of(node: int) -> Tuple[int, bool]:
-            word = words[node]
-            phase = bool(word & 1)
-            return ((word ^ mask) if phase else word, phase)
+            table = _new_word_table(aig)
+        table.simulate(
+            aig, root, self._patterns, self._width,
+            pattern_word=_pattern_fill(options.seed),
+        )
+        canon_of = table.canon
 
         # Candidate classes keyed by canonical signature.  ``reps`` holds
         # every registered representative so classes can be re-keyed when
         # a counterexample changes the signatures.
-        classes: Dict[int, Tuple[int, bool]] = {}
+        classes: Dict[object, Tuple[int, bool]] = {}
         reps: List[int] = []
 
         def rebuild_classes() -> None:
@@ -230,7 +328,7 @@ class FraigEngine:
                 if canon not in classes:
                     classes[canon] = (rep, phase)
 
-        fresh = Aig()
+        fresh = Aig(backend=aig.backend)
         rebuilt: Dict[int, int] = {0: FALSE}
 
         def node_edge(fanin: int) -> int:
@@ -283,10 +381,9 @@ class FraigEngine:
                     # refuted representative, so the loop terminates.
                     budget -= 1
                     session.stats.counterexamples += 1
-                    self._absorb_counterexample(
-                        aig, cone, words, session.model_inputs()
-                    )
-                    mask = (1 << self._width) - 1
+                    table.absorb(aig, cone, session.model_inputs(), self._patterns)
+                    self._width = table.width
+                    self.counterexamples_absorbed += 1
                     rebuild_classes()
                     continue
                 # Refuted without a usable model (conflict limit, or
@@ -309,10 +406,15 @@ class FraigEngine:
         """Pre-simulate the result manager so the next sweep on it only
         has to simulate nodes appended after this one."""
         self._sim_aig = compact
+        table = _new_word_table(compact)
+        self._sim_words = table
         if root in (TRUE, FALSE):
-            self._sim_words = {0: 0}
+            table.mark_constant(self._width)
             return
-        self._sim_words = simulate(compact, root, self._patterns, self._width)
+        table.simulate(
+            compact, root, self._patterns, self._width,
+            pattern_word=_pattern_fill(self.options.seed),
+        )
 
 
 def fraig_root(

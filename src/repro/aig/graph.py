@@ -13,26 +13,59 @@ construction.  All heavy operations (cofactor, compose, quantification)
 are implemented as iterative rebuilds, so Python's recursion limit is
 never an issue even for deep graphs.
 
+**Storage is struct-of-arrays**: nodes live in flat parallel arrays
+(``_fanin0``, ``_fanin1``, ``_input_label``, ``_level``, traversal
+marks) indexed by node id.  Nodes are append-only with immutable fanins,
+which yields two structural invariants the kernels exploit:
+
+* fanins always reference *smaller* node ids, so ascending id order is
+  a topological order — membership sweeps (``cone_size``, dependency
+  masks, level groups) never need a DFS.  ``cone_nodes`` itself still
+  returns the traversal-shaped DFS post-order, because downstream
+  numberings (Tseitin auxiliaries, AIGER indices, rebuild creation
+  order) are part of the observable contract;
+* levels are computable at construction time (``1 + max(fanin
+  levels)``), so ``level_of`` is an O(1) array read, never a sweep.
+
+Two kernel *backends* implement the hot traversals over this storage
+(see :mod:`repro.aig.backend`): the pure-Python reference loops, and
+optional numpy kernels (:mod:`repro.aig._npkernels`) that mirror the
+arrays into ``int64`` ndarrays and replace per-node dict/set work with
+vectorized level-ordered sweeps.  The backend is chosen per manager
+(``Aig(backend=...)``, defaulting to the import-time
+``REPRO_AIG_BACKEND`` selection) and both backends produce identical
+results, node numberings, and traversal counters.
+
 Two layers sit on top of the plain rebuild machinery:
 
 * a **fused kernel** (:meth:`Aig.restrict`, :meth:`Aig.cofactor2`,
   :meth:`Aig.eliminate_universal_fused`) that performs constant
   substitution, double cofactoring and Theorem-1 elimination in a
   *single* cone traversal, sharing (rather than rebuilding) every node
-  whose cone does not touch the substituted variables;
-* a **generation-stamped per-node cache** of structural support sets
-  and levels.  Nodes are append-only and fanins immutable, so a cache
-  entry stays valid for the lifetime of the manager; ``extract``
-  (compaction) starts a fresh manager whose caches are empty and whose
+  whose cone does not touch the substituted variables.  The
+  share-vs-rebuild classification is a per-node support disjointness
+  test on the python backend and a precomputed vectorized dependency
+  mask on the numpy backend — same decisions, same counters;
+* a **generation-stamped per-node cache** of structural support sets.
+  Nodes are append-only and fanins immutable, so a cache entry stays
+  valid for the lifetime of the manager; ``extract`` (compaction)
+  starts a fresh manager whose caches are empty and whose
   ``cache_generation`` is bumped, which is the only invalidation event.
 
 All kernel passes account their work in :class:`KernelCounters`, shared
-across compactions, so callers can compare rebuild strategies.
+across compactions, so callers can compare rebuild strategies.  The
+traversal counters (``nodes_visited``, ``nodes_shared``, strash and
+pass counts) are backend-independent; the ``support_cache_*`` counters
+reflect how often the frozenset cache is consulted and therefore differ
+between backends (the numpy kernels classify via masks without filling
+the cache).
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .backend import resolve_backend
 
 FALSE = 0
 TRUE = 1
@@ -101,11 +134,16 @@ class Aig:
 
     _NO_FANIN = -1
 
-    def __init__(self) -> None:
-        # node 0 is the constant-false node
+    def __init__(self, backend: Optional[str] = None) -> None:
+        #: Kernel backend for this manager: ``'python'`` or ``'numpy'``.
+        self.backend = resolve_backend(backend)
+        # Struct-of-arrays node storage; node 0 is the constant-false node.
         self._fanin0: List[int] = [self._NO_FANIN]
         self._fanin1: List[int] = [self._NO_FANIN]
         self._input_label: List[int] = [0]  # external var for inputs, 0 otherwise
+        self._level: List[int] = [0]  # maintained eagerly on append
+        self._mark: List[int] = [0]  # traversal stamps (see _cone_nodes_ascending)
+        self._travid = 0
         self._input_node: Dict[int, int] = {}
         self._strash: Dict[Tuple[int, int], int] = {}
         self.counters = KernelCounters()
@@ -115,8 +153,18 @@ class Aig:
         # externally held value belongs to.
         self.cache_generation = 0
         self._support: Dict[int, frozenset] = {0: _EMPTY_SUPPORT}
-        self._level: Dict[int, int] = {0: 0}
         self._unitpure_cache: Dict[int, object] = {}
+        self._npk = None  # lazily constructed NumpyKernels mirror
+
+    @property
+    def _np(self):
+        """The numpy kernel mirror (numpy backend only), built lazily."""
+        kernels = self._npk
+        if kernels is None:
+            from ._npkernels import NumpyKernels
+
+            kernels = self._npk = NumpyKernels(self)
+        return kernels
 
     # ------------------------------------------------------------------
     # node construction
@@ -188,9 +236,20 @@ class Aig:
         return complement(self.land_many(complement(e) for e in edges))
 
     def _new_node(self, fanin0: int, fanin1: int, label: int) -> int:
+        # Fanins always pre-exist, so the level is known at append time:
+        # one O(1) computation here replaces a lazy per-node level cache.
+        if fanin0 >= 0:
+            levels = self._level
+            l0 = levels[fanin0 >> 1]
+            l1 = levels[fanin1 >> 1]
+            level = 1 + (l0 if l0 >= l1 else l1)
+        else:
+            level = 0
         self._fanin0.append(fanin0)
         self._fanin1.append(fanin1)
         self._input_label.append(label)
+        self._level.append(level)
+        self._mark.append(0)
         return len(self._fanin0) - 1
 
     # ------------------------------------------------------------------
@@ -221,17 +280,33 @@ class Aig:
         return len(self._fanin0)
 
     def cone_nodes(self, root: int) -> List[int]:
-        """Nodes in the transitive fanin cone of ``root`` (topological order)."""
+        """Cone of ``root`` in depth-first post-order (fanin0 first).
+
+        The *order* is part of the contract, on both backends: the CNF
+        encoders number Tseitin auxiliaries in cone order, `rebuild`
+        (hence compose / extract / FRAIG) creates nodes in cone order,
+        and the AIGER writer numbers gates in cone order.  SAT heuristics
+        (VSIDS init, phase saving) are sensitive enough to variable
+        numbering that changing the order shifts solve times measurably,
+        so it stays the traversal-shaped post-order rather than the
+        ascending-id order the array core could produce cheaply.  Use
+        :meth:`_cone_nodes_ascending` / the kernel cone masks when only
+        membership matters.
+        """
         seen: Set[int] = set()
         order: List[int] = []
-        stack = [node_of(root)]
+        fanin0, fanin1 = self._fanin0, self._fanin1
+        stack = [root >> 1]
         while stack:
             node = stack.pop()
             if node in seen:
                 continue
-            if self.is_and(node):
-                f0, f1 = self._fanin0[node], self._fanin1[node]
-                pending = [n for n in (node_of(f0), node_of(f1)) if n not in seen]
+            if fanin0[node] >= 0:
+                pending = [
+                    n
+                    for n in (fanin0[node] >> 1, fanin1[node] >> 1)
+                    if n not in seen
+                ]
                 if pending:
                     stack.append(node)
                     stack.extend(pending)
@@ -240,9 +315,42 @@ class Aig:
             order.append(node)
         return order
 
+    def _cone_nodes_ascending(self, root: int) -> List[int]:
+        """Cone membership as ascending node ids (a topological order too).
+
+        Cheaper than :meth:`cone_nodes` — generation-stamped marks, no
+        hashing — for order-insensitive consumers like :meth:`cone_size`.
+        """
+        self._travid += 1
+        travid = self._travid
+        mark = self._mark
+        fanin0, fanin1 = self._fanin0, self._fanin1
+        node = root >> 1
+        mark[node] = travid
+        stack = [node]
+        out: List[int] = []
+        while stack:
+            top = stack.pop()
+            out.append(top)
+            f0 = fanin0[top]
+            if f0 >= 0:
+                child = f0 >> 1
+                if mark[child] != travid:
+                    mark[child] = travid
+                    stack.append(child)
+                child = fanin1[top] >> 1
+                if mark[child] != travid:
+                    mark[child] = travid
+                    stack.append(child)
+        out.sort()
+        return out
+
     def cone_size(self, root: int) -> int:
         """Number of AND nodes in the cone of ``root``."""
-        return sum(1 for n in self.cone_nodes(root) if self.is_and(n))
+        if self.backend == "numpy":
+            return self._np.cone_and_count(root)
+        fanin0 = self._fanin0
+        return sum(1 for n in self._cone_nodes_ascending(root) if fanin0[n] >= 0)
 
     def support(self, root: int) -> Set[int]:
         """External variables the function of ``root`` structurally depends on.
@@ -253,22 +361,31 @@ class Aig:
         return set(self.support_of(root))
 
     # ------------------------------------------------------------------
-    # per-node metadata cache (support sets, levels)
+    # per-node metadata cache (support sets) and levels
     # ------------------------------------------------------------------
     def support_of(self, root: int) -> frozenset:
         """Cached structural support of ``root`` as a shared frozenset.
 
-        The result is memoized per node; computing it for a cone fills
-        the cache bottom-up for every node of that cone, so subsequent
-        queries anywhere inside the cone are O(1).  When an AND node's
-        support equals one of its fanin supports the frozenset object is
-        shared, keeping the cache memory-linear in practice.
+        The result is memoized per node.  On the python backend a cache
+        miss fills the cache bottom-up for every node of the cone (so
+        subsequent queries anywhere inside the cone are O(1)); when an
+        AND node's support equals one of its fanin supports the
+        frozenset object is shared, keeping the cache memory-linear in
+        practice.  On the numpy backend a miss is a single vectorized
+        cone sweep that caches only the queried node — interior nodes
+        are rarely queried there because the fused kernels classify via
+        dependency masks instead.
         """
         node = root >> 1
         cached = self._support.get(node)
         if cached is not None:
             self.counters.support_cache_hits += 1
             return cached
+        if self.backend == "numpy":
+            result = self._np.cone_support(node)
+            self._support[node] = result
+            self.counters.support_cache_misses += 1
+            return result
         support = self._support
         counters = self.counters
         stack = [node]
@@ -302,45 +419,60 @@ class Aig:
         return support[node]
 
     def level_of(self, root: int) -> int:
-        """Cached level (longest AND path to an input) of ``root``."""
-        node = root >> 1
-        cached = self._level.get(node)
-        if cached is not None:
-            return cached
-        level = self._level
-        stack = [node]
-        while stack:
-            top = stack[-1]
-            if top in level:
-                stack.pop()
+        """Level (longest AND path to an input) of ``root`` — O(1) read.
+
+        Levels are maintained eagerly at node construction, so this is
+        a plain array access on either backend.
+        """
+        return self._level[root >> 1]
+
+    def count_depending_ands(self, root: int, var: int) -> int:
+        """AND nodes in the cone of ``root`` whose function cone contains
+        ``var`` — the node count a Theorem-1 elimination of ``var`` would
+        have to rebuild (growth estimation)."""
+        if root < 2:
+            return 0
+        if self.backend == "numpy":
+            return self._np.count_depending_ands(root, var)
+        count = 0
+        support_of = self.support_of
+        fanin0 = self._fanin0
+        for node in self._cone_nodes_ascending(root):
+            if fanin0[node] >= 0 and var in support_of(edge_of(node)):
+                count += 1
+        return count
+
+    def input_fanout_counts(self, root: int, labels: Iterable[int]) -> Dict[int, int]:
+        """Direct fanout count inside the cone of ``root`` for each input
+        labelled by ``labels`` (labels with zero fanout are omitted)."""
+        wanted = set(labels)
+        counts: Dict[int, int] = {}
+        if root < 2 or not wanted:
+            return counts
+        if self.backend == "numpy":
+            return self._np.input_fanout_counts(root, wanted)
+        fanin0, fanin1, label = self._fanin0, self._fanin1, self._input_label
+        for node in self._cone_nodes_ascending(root):
+            f0 = fanin0[node]
+            if f0 < 0:
                 continue
-            if self._fanin0[top] == self._NO_FANIN:
-                level[top] = 0
-                stack.pop()
-                continue
-            f0, f1 = self._fanin0[top] >> 1, self._fanin1[top] >> 1
-            l0 = level.get(f0)
-            l1 = level.get(f1)
-            if l0 is None or l1 is None:
-                if l0 is None:
-                    stack.append(f0)
-                if l1 is None:
-                    stack.append(f1)
-                continue
-            level[top] = 1 + (l0 if l0 >= l1 else l1)
-            stack.pop()
-        return level[node]
+            for child in (f0 >> 1, fanin1[node] >> 1):
+                lab = label[child]
+                if lab > 0 and lab in wanted:
+                    counts[lab] = counts.get(lab, 0) + 1
+        return counts
 
     def invalidate_caches(self) -> None:
         """Drop all per-node metadata and bump the generation stamp.
 
         Never required for correctness inside one manager (nodes are
         immutable); exposed for callers that hold externally derived
-        per-generation data.
+        per-generation data.  Levels and the numpy array mirror are
+        ground truth derived from the node arrays, not caches, and are
+        kept.
         """
         self.cache_generation += 1
         self._support = {0: _EMPTY_SUPPORT}
-        self._level = {0: 0}
         self._unitpure_cache = {}
 
     def evaluate(self, root: int, assignment: Dict[int, bool]) -> bool:
@@ -431,6 +563,11 @@ class Aig:
         if root < 2 or not assignment:
             return root
         touched = frozenset(assignment)
+        if self.backend == "numpy":
+            depends = self._np.depends_mask(touched)
+            if not depends[root >> 1]:
+                return root
+            return self._restrict_masked(root, assignment, depends)
         support_of = self.support_of
         if support_of(root).isdisjoint(touched):
             return root
@@ -467,6 +604,48 @@ class Aig:
             stack.pop()
         return cache[node_of(root)] ^ (root & 1)
 
+    def _restrict_masked(
+        self, root: int, assignment: Dict[int, bool], depends: List[bool]
+    ) -> int:
+        """`restrict` with the share test precomputed as a dependency mask.
+
+        ``depends[node]`` is exactly ``not support_of(node).isdisjoint
+        (assignment)``, so the traversal makes identical decisions and
+        counts identical work to the python path.
+        """
+        counters = self.counters
+        counters.fused_passes += 1
+        cache: Dict[int, int] = {0: FALSE}
+        stack = [node_of(root)]
+        while stack:
+            node = stack[-1]
+            if node in cache:
+                stack.pop()
+                continue
+            if not depends[node]:
+                cache[node] = edge_of(node)
+                counters.nodes_shared += 1
+                stack.pop()
+                continue
+            if self.is_input(node):
+                cache[node] = TRUE if assignment[self._input_label[node]] else FALSE
+                counters.nodes_visited += 1
+                stack.pop()
+                continue
+            f0, f1 = self._fanin0[node], self._fanin1[node]
+            r0 = cache.get(node_of(f0))
+            r1 = cache.get(node_of(f1))
+            if r0 is None or r1 is None:
+                if r0 is None:
+                    stack.append(node_of(f0))
+                if r1 is None:
+                    stack.append(node_of(f1))
+                continue
+            cache[node] = self.land(r0 ^ (f0 & 1), r1 ^ (f1 & 1))
+            counters.nodes_visited += 1
+            stack.pop()
+        return cache[node_of(root)] ^ (root & 1)
+
     def cofactor2(self, root: int, var: int) -> Tuple[int, int]:
         """Both Shannon cofactors of ``root`` w.r.t. ``var`` in one pass.
 
@@ -476,6 +655,11 @@ class Aig:
         """
         if root < 2:
             return root, root
+        if self.backend == "numpy":
+            depends = self._np.depends_mask((var,))
+            if not depends[root >> 1]:
+                return root, root
+            return self._cofactor2_masked(root, depends)
         support_of = self.support_of
         if var not in support_of(root):
             return root, root
@@ -490,6 +674,49 @@ class Aig:
                 stack.pop()
                 continue
             if var not in support_of(edge_of(node)):
+                edge = edge_of(node)
+                cache[node] = (edge, edge)
+                counters.nodes_shared += 1
+                stack.pop()
+                continue
+            if self.is_input(node):  # the variable itself
+                cache[node] = (FALSE, TRUE)
+                counters.nodes_visited += 1
+                stack.pop()
+                continue
+            f0, f1 = self._fanin0[node], self._fanin1[node]
+            p0 = cache.get(node_of(f0))
+            p1 = cache.get(node_of(f1))
+            if p0 is None or p1 is None:
+                if p0 is None:
+                    stack.append(node_of(f0))
+                if p1 is None:
+                    stack.append(node_of(f1))
+                continue
+            c0, c1 = f0 & 1, f1 & 1
+            cache[node] = (
+                self.land(p0[0] ^ c0, p1[0] ^ c1),
+                self.land(p0[1] ^ c0, p1[1] ^ c1),
+            )
+            counters.nodes_visited += 1
+            stack.pop()
+        e0, e1 = cache[node_of(root)]
+        sign = root & 1
+        return e0 ^ sign, e1 ^ sign
+
+    def _cofactor2_masked(self, root: int, depends: List[bool]) -> Tuple[int, int]:
+        """`cofactor2` with the per-node ``var in support`` test replaced
+        by the precomputed dependency mask (identical traversal)."""
+        counters = self.counters
+        counters.fused_passes += 1
+        cache: Dict[int, Tuple[int, int]] = {0: (FALSE, FALSE)}
+        stack = [node_of(root)]
+        while stack:
+            node = stack[-1]
+            if node in cache:
+                stack.pop()
+                continue
+            if not depends[node]:
                 edge = edge_of(node)
                 cache[node] = (edge, edge)
                 counters.nodes_shared += 1
@@ -546,6 +773,11 @@ class Aig:
         dependents = frozenset(dependents)
         if root < 2:
             return root, root, {}
+        if self.backend == "numpy":
+            dep_var, dep_rel = self._np.depends_mask2(var, dependents)
+            if not dep_var[root >> 1]:
+                return root, root, {}
+            return self._eliminate_fused_masked(root, var, fresh, dep_var, dep_rel)
         support_of = self.support_of
         root_support = support_of(root)
         if var not in root_support:
@@ -615,6 +847,86 @@ class Aig:
             copies = {y: y2 for y, y2 in copies.items() if y2 in survivors}
         return cofactor0, cofactor1, copies
 
+    def _eliminate_fused_masked(
+        self,
+        root: int,
+        var: int,
+        fresh: Callable[[], int],
+        dep_var: List[bool],
+        dep_rel: List[bool],
+    ) -> Tuple[int, int, Dict[int, int]]:
+        """Theorem-1 kernel with both classifications precomputed as masks:
+        ``dep_var[node]`` = cone contains ``var`` (0-side sharing),
+        ``dep_rel[node]`` = cone touches ``var`` or any dependent
+        (1-side sharing).  Same traversal and counters as the python
+        path."""
+        counters = self.counters
+        counters.fused_passes += 1
+        copies: Dict[int, int] = {}
+        copy_edges: Dict[int, int] = {}
+
+        def renamed_input(label: int) -> int:
+            edge = copy_edges.get(label)
+            if edge is None:
+                copies[label] = fresh()
+                edge = self.var(copies[label])
+                copy_edges[label] = edge
+            return edge
+
+        cache: Dict[int, Tuple[int, int]] = {0: (FALSE, FALSE)}
+        stack = [node_of(root)]
+        while stack:
+            node = stack[-1]
+            if node in cache:
+                stack.pop()
+                continue
+            if not dep_rel[node]:
+                edge = edge_of(node)
+                cache[node] = (edge, edge)
+                counters.nodes_shared += 1
+                stack.pop()
+                continue
+            if self.is_input(node):
+                label = self._input_label[node]
+                if label == var:
+                    cache[node] = (FALSE, TRUE)
+                else:  # a dependent: identical on the 0-side, renamed on the 1-side
+                    cache[node] = (edge_of(node), renamed_input(label))
+                counters.nodes_visited += 1
+                stack.pop()
+                continue
+            f0, f1 = self._fanin0[node], self._fanin1[node]
+            p0 = cache.get(node_of(f0))
+            p1 = cache.get(node_of(f1))
+            if p0 is None or p1 is None:
+                if p0 is None:
+                    stack.append(node_of(f0))
+                if p1 is None:
+                    stack.append(node_of(f1))
+                continue
+            c0, c1 = f0 & 1, f1 & 1
+            if dep_var[node]:
+                e0 = self.land(p0[0] ^ c0, p1[0] ^ c1)
+            else:  # cofactoring is trivial here; only the rename matters
+                e0 = edge_of(node)
+                counters.nodes_shared += 1
+            cache[node] = (e0, self.land(p0[1] ^ c0, p1[1] ^ c1))
+            counters.nodes_visited += 1
+            stack.pop()
+        e0, e1 = cache[node_of(root)]
+        sign = root & 1
+        cofactor0, cofactor1 = e0 ^ sign, e1 ^ sign
+        if copies:
+            # Survivor filtering needs the 1-cofactor's support once; a
+            # single vectorized cone sweep, no per-node cache fills.
+            survivors = (
+                self._np.cone_support(cofactor1 >> 1)
+                if cofactor1 > 1
+                else _EMPTY_SUPPORT
+            )
+            copies = {y: y2 for y, y2 in copies.items() if y2 in survivors}
+        return cofactor0, cofactor1, copies
+
     # ------------------------------------------------------------------
     # compaction
     # ------------------------------------------------------------------
@@ -624,9 +936,10 @@ class Aig:
         The fresh manager starts with empty metadata caches and a bumped
         ``cache_generation`` (node numbering changes, so per-node data
         held outside the manager is stale), but *shares* this manager's
-        :class:`KernelCounters` so work accounting survives compaction.
+        :class:`KernelCounters` and backend so work accounting and
+        kernel selection survive compaction.
         """
-        fresh = Aig()
+        fresh = Aig(backend=self.backend)
         fresh.counters = self.counters
         fresh.cache_generation = self.cache_generation + 1
         new_roots = self.rebuild(roots, {}, target=fresh)
@@ -634,4 +947,4 @@ class Aig:
 
     def __repr__(self) -> str:
         ands = sum(1 for n in range(1, self.num_nodes) if self.is_and(n))
-        return f"Aig(inputs={len(self._input_node)}, ands={ands})"
+        return f"Aig(inputs={len(self._input_node)}, ands={ands}, backend={self.backend})"

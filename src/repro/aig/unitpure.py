@@ -92,6 +92,10 @@ def find_pures(aig: Aig, root: int) -> Dict[int, bool]:
     pures: Dict[int, bool] = {}
     if root in (TRUE, FALSE):
         return pures
+    if aig.backend == "numpy":
+        # One descending level-ordered sweep over the node arrays;
+        # identical parity semantics to the worklist below.
+        return aig._np.find_pures(root)
     # parities[node] is a bitmask: 1 = reachable with even #negations,
     # 2 = reachable with odd #negations.
     parities: Dict[int, int] = {}

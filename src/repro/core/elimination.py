@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..aig.graph import edge_of
 from .guard import ResourceGuard
 from .state import AigDqbf
 
@@ -132,13 +131,8 @@ def universal_growth_estimate(state: AigDqbf, x: int) -> int:
     aig = state.aig
     if state.root in (0, 1):
         return 0
-    # The per-node support cache answers "does this node's cone contain
-    # x?" in O(1), replacing the dependence-propagation pass this
-    # function used to run for every candidate.
     if x not in aig.support_of(state.root):
         return 0
-    return sum(
-        1
-        for node in aig.cone_nodes(state.root)
-        if aig.is_and(node) and x in aig.support_of(edge_of(node))
-    )
+    # One dependency sweep over the node arrays (vectorized on the numpy
+    # backend, support-cache lookups on the python backend).
+    return aig.count_depending_ands(state.root, x)

@@ -140,6 +140,10 @@ class HqsSolver:
         if self._tracing:
             self.trace.append(message)
 
+    def _add_time(self, key: str, tick: float) -> None:
+        """Accumulate elapsed wall-clock since ``tick`` into a stage timer."""
+        self.stats[key] = self.stats.get(key, 0.0) + (time.monotonic() - tick)
+
     # ------------------------------------------------------------------
     def solve(
         self,
@@ -164,6 +168,10 @@ class HqsSolver:
         """
         guard = ResourceGuard.ensure(limits)
         self.stats = {}
+        # Per-stage wall-clock accounting, always present (0.0 when a
+        # stage never ran) so sweep reports can aggregate uniformly.
+        for key in ("time_fraig", "time_maxsat", "time_eliminate", "time_qbf"):
+            self.stats[key] = 0.0
         self.trace = []
         start = time.monotonic()
         self._kernel_counters = None
@@ -257,6 +265,7 @@ class HqsSolver:
         elimination_pool: List[int] = []
         if options.use_maxsat_selection:
             guard.enter_stage("selection")
+            tick = time.monotonic()
             try:
                 selection = select_elimination_set(
                     state.prefix,
@@ -275,6 +284,7 @@ class HqsSolver:
                     f"MaxSAT selection over budget: greedy fallback "
                     f"eliminates {selection.variables}"
                 )
+            self._add_time("time_maxsat", tick)
             elimination_pool = list(selection.variables)
             self.stats["maxsat_time"] = selection.maxsat_time
             self.stats["maxsat_pairs"] = selection.num_pairs
@@ -326,6 +336,7 @@ class HqsSolver:
         # Kernel counters live on the AIG manager and survive compaction
         # (extract shares the object); keep a handle for stats export.
         self._kernel_counters = state.aig.counters
+        self.stats["kernel_backend_numpy"] = int(state.aig.backend == "numpy")
         # One SAT session serves every query of the run.  With
         # use_sat_session=False it degrades to a fresh solver per query
         # while keeping the same counters (the benchmark baseline).
@@ -386,6 +397,7 @@ class HqsSolver:
             state.prune_prefix()
 
             # Theorem 2: eliminate existentials depending on all universals.
+            tick = time.monotonic()
             progressed = True
             while progressed:
                 progressed = False
@@ -400,9 +412,11 @@ class HqsSolver:
                     progressed = True
                 constant = state.is_constant()
                 if constant is not None:
+                    self._add_time("time_eliminate", tick)
                     self._export_eliminations(eliminations)
                     return constant
                 state.prune_prefix()
+            self._add_time("time_eliminate", tick)
 
             if not state.prefix.universals:
                 # Pure SAT endgame.
@@ -429,6 +443,7 @@ class HqsSolver:
                         time_fraction=options.qbf_time_fraction,
                         stage="qbf-backend",
                     )
+                    tick = time.monotonic()
                     try:
                         result = solve_aig_qbf(
                             state.aig,
@@ -441,6 +456,7 @@ class HqsSolver:
                             fused=options.use_fused_kernel,
                             sat_session=self._sat_session,
                         )
+                        self._add_time("time_qbf", tick)
                         self.stats.update(
                             {f"qbf_{k}": v for k, v in qbf_stats.as_dict().items()}
                         )
@@ -450,6 +466,7 @@ class HqsSolver:
                         TimeoutExceeded,
                         ConflictLimitExceeded,
                     ):
+                        self._add_time("time_qbf", tick)
                         guard.check()  # whole-solve budget gone? raise it
                         qbf_enabled = False
                         self.stats["degrade_qbf"] = 1
@@ -471,9 +488,11 @@ class HqsSolver:
                     candidates = self._fallback_candidates(state)
                 x = self._next_universal(state, candidates)
 
+            tick = time.monotonic()
             copies = eliminate_universal(
                 state, x, fused=options.use_fused_kernel, guard=guard
             )
+            self._add_time("time_eliminate", tick)
             eliminations["universal"] += 1
             self._trace(
                 f"Theorem 1: eliminated universal {x} "
@@ -564,12 +583,16 @@ class HqsSolver:
         # degradation, which we count as ``degrade_fraig``.
         counters = state.aig.counters
         generation = state.aig.cache_generation
-        fresh, root = self._fraig_engine.sweep(
-            state.aig,
-            state.root,
-            session=self._sat_session,
-            deadline=guard.stage_deadline(self.options.fraig_time_fraction),
-        )
+        tick = time.monotonic()
+        try:
+            fresh, root = self._fraig_engine.sweep(
+                state.aig,
+                state.root,
+                session=self._sat_session,
+                deadline=guard.stage_deadline(self.options.fraig_time_fraction),
+            )
+        finally:
+            self._add_time("time_fraig", tick)
         if self._fraig_engine.last_sweep_degraded:
             self.stats["degrade_fraig"] = self.stats.get("degrade_fraig", 0) + 1
             self._trace("FRAIG sweep over budget: strash-only compaction")

@@ -41,6 +41,28 @@ def maxsat_times(records: Sequence[RunRecord]) -> List[float]:
     ]
 
 
+# Per-stage wall-clock timers accumulated by HqsSolver.solve(); see
+# repro.core.hqs (the keys are initialized to 0.0 at the start of every
+# solve, so their presence distinguishes "stage never entered" from
+# "stats produced by an older checkpoint").
+STAGE_TIMERS = ("time_fraig", "time_maxsat", "time_eliminate", "time_qbf")
+
+
+def stage_time_totals(records: Sequence[RunRecord]) -> Dict[str, float]:
+    """Suite-wide wall-clock per HQS pipeline stage.
+
+    Sums the ``time_*`` stage timers over every HQS run (solved or not —
+    an aborted run still spent the time).
+    """
+    totals: Dict[str, float] = {key: 0.0 for key in STAGE_TIMERS}
+    for r in records:
+        if r.solver != "HQS":
+            continue
+        for key in STAGE_TIMERS:
+            totals[key] += r.result.stats.get(key, 0.0)
+    return totals
+
+
 def unit_pure_fractions(records: Sequence[RunRecord]) -> List[float]:
     """Per-instance share of runtime spent in unit/pure detection."""
     fractions = []
@@ -64,6 +86,7 @@ def extended_stats(records: Sequence[RunRecord]) -> Dict[str, object]:
         "mean_unit_pure_fraction": (
             sum(unit_pure) / len(unit_pure) if unit_pure else 0.0
         ),
+        "stage_time_totals": stage_time_totals(records),
     }
 
 

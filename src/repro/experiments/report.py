@@ -91,6 +91,19 @@ def generate_report(config: Optional[BenchConfig] = None) -> str:
         f"max {_pct(stats['max_unit_pure_fraction'])} |"
     )
     lines.append("")
+    lines.append("## Stage timing")
+    lines.append("")
+    lines.append(
+        "HQS wall-clock per pipeline stage, summed over the suite"
+        " (`time_*` timers from `SolveResult.stats`):"
+    )
+    lines.append("")
+    lines.append("| stage | total seconds |")
+    lines.append("|---|---|")
+    for key, seconds in stats["stage_time_totals"].items():
+        stage = key[len("time_"):]
+        lines.append(f"| {stage} | {seconds:.3f} |")
+    lines.append("")
     return "\n".join(lines) + "\n"
 
 

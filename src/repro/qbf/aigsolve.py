@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..aig.cnf_bridge import is_satisfiable, is_tautology
-from ..aig.graph import FALSE, TRUE, Aig, node_of
+from ..aig.graph import FALSE, TRUE, Aig
 from ..aig.unitpure import detect_unit_pure
 from ..core.guard import ResourceGuard
 from ..formula.prefix import EXISTS, FORALL, BlockedPrefix
@@ -144,17 +144,7 @@ def _cheapest_variable(aig: Aig, root: int, variables) -> int:
     """
     if len(variables) == 1:
         return variables[0]
-    fanout: Dict[int, int] = {v: 0 for v in variables}
-    wanted = set(variables)
-    for node in aig.cone_nodes(root):
-        if not aig.is_and(node):
-            continue
-        for fanin in aig.fanins(node):
-            child = node_of(fanin)
-            if aig.is_input(child):
-                label = aig.input_label(child)
-                if label in wanted:
-                    fanout[label] = fanout.get(label, 0) + 1
+    fanout = aig.input_fanout_counts(root, variables)
     return min(variables, key=lambda v: (fanout.get(v, 0), v))
 
 

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.result import SAT, TIMEOUT, UNSAT, SolveResult
+from repro.experiments import extstats as stats_module
 from repro.experiments.extstats import (
     extended_stats,
     fraction_solved_fast,
@@ -148,4 +149,10 @@ class TestExtStats:
             "mean_maxsat_time",
             "max_unit_pure_fraction",
             "mean_unit_pure_fraction",
+            "stage_time_totals",
         }
+
+    def test_stage_time_totals(self, records):
+        totals = stats_module.stage_time_totals(records)
+        assert set(totals) == set(stats_module.STAGE_TIMERS)
+        assert all(v >= 0.0 for v in totals.values())
