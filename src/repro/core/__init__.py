@@ -14,6 +14,7 @@ from .elimination import (
     eliminate_universal,
     universal_elimination_cost,
 )
+from .checkpoint import CheckpointError, SolverCheckpoint, formula_fingerprint
 from .hqs import HqsOptions, HqsSolver, solve_dqbf
 from .preprocess import Gate, PreprocessResult, PreprocessStats, preprocess
 from .result import (
@@ -33,6 +34,9 @@ from .state import AigDqbf
 from .unitpure import UnitPureStats, apply_unit_pure
 
 __all__ = [
+    "CheckpointError",
+    "SolverCheckpoint",
+    "formula_fingerprint",
     "PrefixAnalysis",
     "analyze_prefix",
     "dependency_edges",

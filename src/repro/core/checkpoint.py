@@ -43,7 +43,24 @@ class CheckpointError(ValueError):
 
 
 def formula_fingerprint(formula: Dqbf) -> str:
-    """Stable digest of a DQBF (prefix + clauses), for resume validation."""
+    """Canonical SHA-256 digest of a DQBF (prefix + matrix).
+
+    Public API (re-exported as :func:`repro.core.formula_fingerprint`):
+    the key under which checkpoints are validated and the solver service
+    caches results.  The digest is *semantic up to clause presentation*:
+
+    * clause order and literal order within a clause do not matter
+      (clauses are hashed as sorted tuples, sorted);
+    * quantifier declaration order does not matter (universals and
+      dependency sets are hashed sorted);
+    * any edit to the matrix (adding/removing/changing a clause) or the
+      prefix (variables, dependency sets) changes the digest.
+
+    It is stable across processes, platforms and ``PYTHONHASHSEED``
+    values — only ``hashlib.sha256`` over sorted integer tuples, no
+    ``hash()`` — so fingerprints computed by a client, the serving front
+    door and a worker process all agree.
+    """
     hasher = hashlib.sha256()
     prefix = formula.prefix
     hasher.update(repr(sorted(prefix.universals)).encode())

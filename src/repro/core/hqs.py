@@ -127,14 +127,32 @@ class HqsSolver:
     produced, and the endgame taken — the paper's Fig. 3 as a log.
     """
 
-    def __init__(self, options: Optional[HqsOptions] = None, trace: bool = False):
+    def __init__(
+        self,
+        options: Optional[HqsOptions] = None,
+        trace: bool = False,
+        sat_session: Optional[AigSatSession] = None,
+    ):
         self.options = options or HqsOptions()
         self.stats: Dict[str, float] = {}
         self.trace: List[str] = []
         self._tracing = trace
         self._kernel_counters = None
+        # A caller-owned session (warm worker pool): rebound to this
+        # solve's AIG instead of creating a fresh solver, so learned
+        # clauses and input variables survive across *requests*, not
+        # just across sweeps within one solve.  Stats are exported as
+        # per-solve deltas; ``sat_warm_learnts`` records how many
+        # learned clauses the solve inherited.
+        self._shared_session = sat_session
         self._sat_session: Optional[AigSatSession] = None
+        self._sat_stats_base: Dict[str, int] = {}
         self._fraig_engine: Optional[FraigEngine] = None
+
+    @property
+    def sat_session(self) -> Optional[AigSatSession]:
+        """The SAT session of the last solve (for warm-pool stashing)."""
+        return self._sat_session
 
     def _trace(self, message: str) -> None:
         if self._tracing:
@@ -341,12 +359,24 @@ class HqsSolver:
         # use_sat_session=False it degrades to a fresh solver per query
         # while keeping the same counters (the benchmark baseline).
         # Every query charges its conflicts to the guard.
-        self._sat_session = AigSatSession(
-            state.aig,
-            persistent=self.options.use_sat_session,
-            max_clauses=self.options.sat_session_max_clauses,
-            guard=guard,
-        )
+        shared = self._shared_session
+        if shared is not None and self.options.use_sat_session:
+            self._sat_stats_base = shared.stats.as_dict()
+            shared.guard = guard
+            shared.max_clauses = self.options.sat_session_max_clauses
+            self._sat_session = shared.rebind(state.aig)
+            # Recorded *after* the rebind: a clause-budget reset during
+            # rebinding means the solve inherited nothing after all.
+            self.stats["sat_warm_learnts"] = shared.solver.statistics["learnts"]
+        else:
+            self.stats["sat_warm_learnts"] = 0
+            self._sat_stats_base = {}
+            self._sat_session = AigSatSession(
+                state.aig,
+                persistent=self.options.use_sat_session,
+                max_clauses=self.options.sat_session_max_clauses,
+                guard=guard,
+            )
         self._fraig_engine = FraigEngine(FraigOptions())
 
     # ------------------------------------------------------------------
@@ -692,24 +722,39 @@ class HqsSolver:
         )
 
     def _export_sat_stats(self) -> None:
-        """Publish the SAT session counters as ``sat_*`` stats fields."""
+        """Publish the SAT session counters as ``sat_*`` stats fields.
+
+        A shared (warm) session accumulates over its whole lifetime;
+        what lands in this solve's stats is the *delta* since the
+        session was bound, so per-request counters stay comparable with
+        the fresh-session case.
+        """
         session = self._sat_session
         if session is None:
             return
         raw: SatServiceStats = session.stats
-        for key, value in raw.as_dict().items():
+        base = self._sat_stats_base
+        delta = {
+            key: value - base.get(key, 0) for key, value in raw.as_dict().items()
+        }
+        for key, value in delta.items():
             self.stats[f"sat_{key}"] = value
         self.stats["sat_session_persistent"] = int(session.persistent)
+        self.stats["sat_session_shared"] = int(session is self._shared_session)
         if self._fraig_engine is not None:
             self.stats["sat_fraig_sweeps"] = self._fraig_engine.sweeps
-        if raw.queries:
+        if self._shared_session is not None:
+            # The pool owns the session; do not keep charging its
+            # queries to this (finished) solve's guard.
+            self._shared_session.guard = None
+        if delta["queries"]:
             self._trace(
-                f"sat service: {raw.queries} queries "
-                f"({raw.sat_answers} SAT / {raw.unsat_answers} UNSAT), "
-                f"{raw.conflicts} conflicts, "
-                f"{raw.clauses_encoded} clauses encoded, "
-                f"{raw.encode_cache_hits} encode cache hits, "
-                f"{raw.counterexamples} counterexamples absorbed"
+                f"sat service: {delta['queries']} queries "
+                f"({delta['sat_answers']} SAT / {delta['unsat_answers']} UNSAT), "
+                f"{delta['conflicts']} conflicts, "
+                f"{delta['clauses_encoded']} clauses encoded, "
+                f"{delta['encode_cache_hits']} encode cache hits, "
+                f"{delta['counterexamples']} counterexamples absorbed"
             )
 
 

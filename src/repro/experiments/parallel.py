@@ -42,7 +42,6 @@ uses a process-stable family hash.
 from __future__ import annotations
 
 import json
-import multiprocessing
 import os
 import time
 import traceback
@@ -51,6 +50,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..core.result import ERROR, MEMOUT, MISMATCH, TIMEOUT, UNKNOWN, Limits, SolveResult
 from ..pec.encode import PecInstance
 from ..pec.families import FAMILIES
+from ..proc import default_grace, mp_context, reap
 from .runner import (
     SOLVERS,
     BenchConfig,
@@ -64,19 +64,10 @@ from .runner import (
 POLL_INTERVAL = 0.02
 
 
-def _mp_context():
-    """Prefer ``fork`` so runtime-registered solvers reach the workers."""
-    methods = multiprocessing.get_all_start_methods()
-    if "fork" in methods:
-        return multiprocessing.get_context("fork")
-    return multiprocessing.get_context()
-
-
-def default_grace(time_limit: Optional[float]) -> float:
-    """Slack granted past the cooperative budget before a hard kill."""
-    if time_limit is None:
-        return 5.0
-    return max(1.0, 0.25 * time_limit)
+# ``mp_context``/``default_grace``/``reap`` live in :mod:`repro.proc`
+# (shared with the service worker pool); ``_mp_context`` is kept as an
+# alias for external callers of the historical name.
+_mp_context = mp_context
 
 
 # ----------------------------------------------------------------------
@@ -175,11 +166,7 @@ class _Job:
         self._reap()
 
     def _reap(self) -> None:
-        self.process.join(timeout=5.0)
-        if self.process.is_alive():  # pragma: no cover - stuck in the kernel
-            self.process.kill()
-            self.process.join()
-        self.conn.close()
+        reap(self.process, self.conn)
 
     def _dead_payload(self) -> Dict[str, object]:
         exitcode = self.process.exitcode
@@ -239,10 +226,20 @@ class ResultLog:
         return done
 
     def append(self, entry: Dict[str, object]) -> None:
+        """Durably append one record: write, flush *and* fsync.
+
+        ``--resume`` treats the log as the ground truth of which pairs
+        already ran; a record that was reported but lost to the page
+        cache in a hard kill would be silently re-run (and a reader of
+        the live log could act on a result that then vanishes).  The
+        fsync makes append-then-crash leave exactly the acknowledged
+        records behind, never a replayed or half-written one.
+        """
         if self._handle is None:
             self._handle = open(self.path, "a", encoding="utf-8")
         self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
         self._handle.flush()
+        os.fsync(self._handle.fileno())
 
     def close(self) -> None:
         if self._handle is not None:

@@ -1,0 +1,54 @@
+"""Process-supervision primitives shared by the parallel runners.
+
+Extracted from :mod:`repro.experiments.parallel` so the benchmark
+harness (one-shot worker per (instance, solver) pair) and the solver
+service (:mod:`repro.service.pool`, long-lived warm workers) share one
+notion of how workers are forked, how much slack a cooperative budget
+gets before a hard kill, and how a possibly-wedged process is reaped.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Optional
+
+
+def mp_context():
+    """Prefer ``fork`` so runtime-registered solvers reach the workers.
+
+    Under ``spawn`` (macOS/Windows default) workers rebuild module state
+    from imports, so dynamically registered solvers and monkeypatched
+    options are lost; every platform that offers ``fork`` gets it.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def default_grace(time_limit: Optional[float]) -> float:
+    """Slack granted past the cooperative budget before a hard kill.
+
+    A solver that honours its :class:`~repro.core.guard.ResourceGuard`
+    returns shortly after the budget expires; the grace covers result
+    serialization and scheduling noise.  Unlimited budgets still get a
+    small fixed grace for supervisor-initiated cancellation.
+    """
+    if time_limit is None:
+        return 5.0
+    return max(1.0, 0.25 * time_limit)
+
+
+def reap(process, conn=None, timeout: float = 5.0) -> None:
+    """Join ``process``, escalating to ``kill`` if it ignores terminate.
+
+    Closes ``conn`` (the supervisor's pipe end) afterwards so a wedged
+    worker cannot keep the pipe buffer — and therefore the supervisor —
+    alive.
+    """
+    process.join(timeout=timeout)
+    if process.is_alive():  # pragma: no cover - stuck in the kernel
+        process.kill()
+        process.join()
+    if conn is not None:
+        conn.close()

@@ -1,0 +1,215 @@
+"""Fingerprint-keyed result cache with an optional on-disk tier.
+
+Keys are :func:`repro.core.formula_fingerprint` digests, so two
+requests hit the same entry whenever their formulas are semantically
+identical up to clause presentation (clause order, literal order within
+a clause, quantifier declaration order) — the dominant shape of
+repeated PEC queries.
+
+Two tiers:
+
+* an in-memory LRU of result payloads (``capacity`` entries);
+* an optional directory tier (``disk_dir``): results are written
+  through as ``<fingerprint>.json`` on store, so an entry evicted from
+  the LRU — or a server restart — still answers from disk.  The same
+  directory holds ``<fingerprint>.ckpt``
+  :class:`~repro.core.SolverCheckpoint` snapshots written by the
+  workers, which is what lets a formula whose solve was interrupted
+  (budget, hard kill, shutdown drain) *resume* from its last completed
+  elimination instead of restarting: the next request for the same
+  fingerprint hands the checkpoint path back to the solver.
+
+Only definitive results (``SAT``/``UNSAT``) are cached.  A budget-
+limited ``UNKNOWN`` is returned to the requester but not stored — a
+repeat may carry a bigger budget, and thanks to the checkpoint tier it
+continues where the failed attempt stopped.
+
+All methods take an internal lock: the asyncio front door calls from
+its event-loop thread while pool completions land from executor
+threads.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from ..core.result import SAT, UNSAT
+
+#: Filename suffixes of the two disk artifact kinds.
+RESULT_SUFFIX = ".json"
+CHECKPOINT_SUFFIX = ".ckpt"
+
+
+class CacheStats:
+    """Counters of one cache instance (exported by the ``stats`` op)."""
+
+    _FIELDS = (
+        "lookups",
+        "memory_hits",
+        "disk_hits",
+        "misses",
+        "stores",
+        "uncacheable",
+        "evictions",
+        "checkpoint_resumes",
+    )
+
+    def __init__(self) -> None:
+        for name in self._FIELDS:
+            setattr(self, name, 0)
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        payload: Dict[str, float] = {
+            name: getattr(self, name) for name in self._FIELDS
+        }
+        payload["hits"] = self.hits
+        payload["hit_rate"] = self.hit_rate()
+        return payload
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"hit_rate={self.hit_rate():.2f})"
+        )
+
+
+class ResultCache:
+    """LRU of solve-result payloads, keyed by formula fingerprint."""
+
+    def __init__(self, capacity: int = 1024, disk_dir: Optional[str] = None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.disk_dir = disk_dir
+        if disk_dir is not None:
+            os.makedirs(disk_dir, exist_ok=True)
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # result tier
+    # ------------------------------------------------------------------
+    def lookup(self, fingerprint: str) -> Optional[Dict[str, object]]:
+        """The cached payload for ``fingerprint``, or ``None``.
+
+        The returned dict gains ``cache: "hit"`` (memory) or
+        ``cache: "disk"``; a disk hit is promoted into the LRU.
+        """
+        with self._lock:
+            self.stats.lookups += 1
+            payload = self._entries.get(fingerprint)
+            if payload is not None:
+                self._entries.move_to_end(fingerprint)
+                self.stats.memory_hits += 1
+                return dict(payload, cache="hit")
+            payload = self._disk_lookup(fingerprint)
+            if payload is not None:
+                self.stats.disk_hits += 1
+                self._insert(fingerprint, payload)
+                return dict(payload, cache="disk")
+            self.stats.misses += 1
+            return None
+
+    def store(self, fingerprint: str, payload: Dict[str, object]) -> bool:
+        """Cache a completed solve; returns whether it was cacheable."""
+        if payload.get("status") not in (SAT, UNSAT):
+            with self._lock:
+                self.stats.uncacheable += 1
+            return False
+        payload = {k: v for k, v in payload.items() if k != "cache"}
+        payload.setdefault("fingerprint", fingerprint)
+        with self._lock:
+            self._insert(fingerprint, payload)
+            self.stats.stores += 1
+            if self.disk_dir is not None:
+                self._disk_store(fingerprint, payload)
+        return True
+
+    def _insert(self, fingerprint: str, payload: Dict[str, object]) -> None:
+        self._entries[fingerprint] = payload
+        self._entries.move_to_end(fingerprint)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    # disk tier
+    # ------------------------------------------------------------------
+    def _result_path(self, fingerprint: str) -> str:
+        return os.path.join(self.disk_dir, fingerprint + RESULT_SUFFIX)
+
+    def _disk_lookup(self, fingerprint: str) -> Optional[Dict[str, object]]:
+        if self.disk_dir is None:
+            return None
+        try:
+            with open(self._result_path(fingerprint)) as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(payload, dict) or payload.get("status") not in (SAT, UNSAT):
+            return None
+        return payload
+
+    def _disk_store(self, fingerprint: str, payload: Dict[str, object]) -> None:
+        path = self._result_path(fingerprint)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        except OSError:  # disk tier is best-effort; memory tier answered
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # checkpoint tier
+    # ------------------------------------------------------------------
+    def checkpoint_path(self, fingerprint: str) -> Optional[str]:
+        """Where a worker should snapshot this formula's progress.
+
+        ``None`` without a disk tier (nothing would survive the worker
+        anyway).  The solver resumes from the file when one is present
+        and removes it when the solve completes, so simply handing the
+        path to every solve yields resume-on-repeat for free.
+        """
+        if self.disk_dir is None:
+            return None
+        return os.path.join(self.disk_dir, fingerprint + CHECKPOINT_SUFFIX)
+
+    def has_checkpoint(self, fingerprint: str) -> bool:
+        path = self.checkpoint_path(fingerprint)
+        return path is not None and os.path.exists(path)
+
+    def note_resume(self) -> None:
+        """Record that a solve picked up a stored checkpoint."""
+        with self._lock:
+            self.stats.checkpoint_resumes += 1
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._entries
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache({len(self)}/{self.capacity} entries, "
+            f"disk={'on' if self.disk_dir else 'off'}, {self.stats!r})"
+        )

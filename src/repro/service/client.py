@@ -1,0 +1,263 @@
+"""Blocking client library for the solver service: ``hqs-client``.
+
+:class:`ServiceClient` speaks the newline-delimited JSON protocol over
+one TCP connection.  Requests on a single client are serialized (the
+protocol answers in order); for concurrent load, open one client per
+thread — sockets are cheap, warm workers are shared server-side.
+
+Library use::
+
+    from repro.service import ServiceClient
+
+    with ServiceClient(port=20150) as client:
+        reply = client.solve(formula, family="adder", timeout=30.0)
+        print(reply["status"], reply["cache"])   # "SAT", "hit"
+
+CLI use::
+
+    hqs-client solve problem.dqdimacs --family adder
+    hqs-client stats
+    hqs-client shutdown
+
+``solve`` exits with the (D)QBF convention of the ``hqs`` CLI:
+10 = SAT, 20 = UNSAT, 0 = inconclusive, 2 = transport/protocol error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import sys
+import threading
+import time
+from typing import Dict, Optional, Sequence, Union
+
+from ..formula.dqbf import Dqbf
+from ..formula.dqdimacs import write_dqdimacs
+from .protocol import (
+    DEFAULT_PORT,
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    solve_request,
+)
+
+
+class ServiceError(RuntimeError):
+    """A transport failure or an ``ok: false`` response."""
+
+
+class ServiceClient:
+    """One connection to ``hqs-serve``; thread-safe via a request lock."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout: Optional[float] = 300.0,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> None:
+        if self._sock is not None:
+            return
+        sock = socket.create_connection((self.host, self.port),
+                                        timeout=self.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._file = sock.makefile("rb")
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+            if self._sock is not None:
+                self._sock.close()
+                self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def request(self, message: Dict[str, object]) -> Dict[str, object]:
+        """Send one raw request message, return the response dict.
+
+        Raises :class:`ServiceError` on connection loss, oversized or
+        unparsable replies, and ``ok: false`` responses.
+        """
+        with self._lock:
+            self._connect()
+            if "id" not in message:
+                self._next_id += 1
+                message = dict(message, id=self._next_id)
+            try:
+                self._sock.sendall(encode_message(message))
+                line = self._file.readline(MAX_LINE_BYTES + 1)
+            except OSError as exc:
+                self.close_nolock()
+                raise ServiceError(f"connection to {self.host}:{self.port} "
+                                   f"failed: {exc}") from exc
+            if not line:
+                self.close_nolock()
+                raise ServiceError("server closed the connection")
+            if len(line) > MAX_LINE_BYTES:
+                self.close_nolock()
+                raise ServiceError("oversized response")
+        try:
+            response = decode_message(line)
+        except ProtocolError as exc:
+            raise ServiceError(f"bad response: {exc}") from exc
+        if not response.get("ok"):
+            raise ServiceError(str(response.get("error", "request failed")))
+        return response
+
+    def close_nolock(self) -> None:
+        """Drop the socket (lock already held by :meth:`request`)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        formula: Union[str, Dqbf],
+        family: Optional[str] = None,
+        timeout: Optional[float] = None,
+        node_limit: Optional[int] = None,
+        no_cache: bool = False,
+    ) -> Dict[str, object]:
+        """Solve a formula (a :class:`~repro.formula.dqbf.Dqbf` or
+        DQDIMACS text); returns the response dict (``status``,
+        ``runtime``, ``stats``, ``fingerprint``, ``cache``)."""
+        if isinstance(formula, Dqbf):
+            formula = write_dqdimacs(formula)
+        return self.request(solve_request(
+            formula, family=family, timeout=timeout,
+            node_limit=node_limit, no_cache=no_cache,
+        ))
+
+    def ping(self) -> Dict[str, object]:
+        return self.request({"op": "ping"})
+
+    def stats(self) -> Dict[str, object]:
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> Dict[str, object]:
+        """Ask the server to drain and exit (acknowledged before it does)."""
+        return self.request({"op": "shutdown"})
+
+
+def wait_for_server(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    timeout: float = 10.0,
+    interval: float = 0.05,
+) -> bool:
+    """Poll until a server accepts connections (startup synchronization)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with socket.create_connection((host, port), timeout=interval):
+                return True
+        except OSError:
+            time.sleep(interval)
+    return False
+
+
+# ----------------------------------------------------------------------
+# console entry
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hqs-client",
+        description="Talk to a running hqs-serve instance",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="solve a DQDIMACS file")
+    solve.add_argument("file")
+    solve.add_argument("--family", default=None,
+                       help="routing hint: same family -> same warm worker")
+    solve.add_argument("--timeout", type=float, default=None,
+                       help="per-request time budget (capped by the server)")
+    solve.add_argument("--node-limit", type=int, default=None)
+    solve.add_argument("--no-cache", action="store_true",
+                       help="bypass the result cache (cold measurement)")
+    solve.add_argument("--repeat", type=int, default=1,
+                       help="send the request N times (cache demonstration)")
+    solve.add_argument("--stats", action="store_true",
+                       help="print solver statistics of the final reply")
+
+    sub.add_parser("ping", help="liveness probe")
+    sub.add_parser("stats", help="print server/cache/pool counters as JSON")
+    sub.add_parser("shutdown", help="ask the server to drain and exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    client = ServiceClient(host=args.host, port=args.port)
+    try:
+        if args.command == "ping":
+            reply = client.ping()
+            print(f"c pong uptime={reply.get('uptime', 0.0):.3f}s")
+            return 0
+        if args.command == "stats":
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if args.command == "shutdown":
+            client.shutdown()
+            print("c server draining")
+            return 0
+        # solve
+        with open(args.file, "r", encoding="ascii") as handle:
+            text = handle.read()
+        reply = None
+        for attempt in range(max(1, args.repeat)):
+            reply = client.solve(
+                text,
+                family=args.family,
+                timeout=args.timeout,
+                node_limit=args.node_limit,
+                no_cache=args.no_cache,
+            )
+            print(
+                f"s cnf {reply['status']} ({reply.get('runtime', 0.0):.3f}s) "
+                f"cache={reply.get('cache')} fingerprint={reply.get('fingerprint', '')[:12]}"
+            )
+        if args.stats and reply is not None and reply.get("stats"):
+            for key in sorted(reply["stats"]):
+                print(f"c {key} = {reply['stats'][key]}")
+        if reply["status"] == "SAT":
+            return 10
+        if reply["status"] == "UNSAT":
+            return 20
+        return 0
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        client.close()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

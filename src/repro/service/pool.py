@@ -1,0 +1,380 @@
+"""Warm worker pool: long-lived solver processes with per-family state.
+
+Adapted from the one-shot workers of :mod:`repro.experiments.parallel`
+(same fork context, same hard-kill discipline via :mod:`repro.proc`),
+but inverted: instead of one process per (instance, solver) pair, each
+:class:`WarmWorker` process lives across requests and keeps an
+:class:`~repro.sat.incremental.AigSatSession` per circuit family.  A
+second solve of a same-family formula therefore starts with the learned
+clauses, input variables and Tseitin encodings of the first — the
+``sat_warm_learnts`` stat of its result records how many learned
+clauses it inherited.
+
+Requests are routed by family affinity (CRC-32 of the family hint
+modulo pool size), so one family's warmth accumulates in one process;
+requests without a hint round-robin.  Each worker handles one request
+at a time — a per-worker lock serializes submitters, which is what the
+front door's executor threads block on.
+
+Failure handling mirrors the benchmark runner:
+
+* a request whose budget (plus :func:`repro.proc.default_grace`) passes
+  without an answer gets the worker killed and recycled, and reports
+  ``TIMEOUT`` with ``stats["hard_timeout"]``;
+* a worker that dies mid-request (crash, OOM kill) is respawned and the
+  request reports ``ERROR`` — the replacement starts cold but the pool
+  stays at full strength;
+* :meth:`WorkerPool.shutdown` drains: workers busy with a request may
+  finish within the drain budget; past it they are killed, which is
+  safe because solves checkpoint after every eliminated universal (the
+  next request for the same fingerprint resumes from the snapshot).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import traceback
+import zlib
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from ..core.result import ERROR, TIMEOUT
+from ..proc import default_grace, mp_context, reap
+
+#: Families whose sessions a single worker keeps warm at once; beyond
+#: this the least recently used session is dropped (memory bound).
+MAX_FAMILY_SESSIONS = 8
+
+#: Solver options of a warm worker (:class:`~repro.core.HqsOptions`
+#: keywords).  Unlike the paper's batch configuration, the service runs
+#: periodic FRAIG sweeps: the sweep's SAT miters are what seed the
+#: session with learned clauses and counterexample patterns worth
+#: keeping warm for the next same-family request.
+DEFAULT_SOLVER_OPTIONS = {"fraig_interval": 1}
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+
+def _safe_send(conn, payload: Dict[str, object]) -> None:
+    try:
+        conn.send(payload)
+    except (BrokenPipeError, OSError):  # supervisor already gave up on us
+        pass
+
+
+def _solve_message(
+    message: Dict[str, object],
+    sessions: "OrderedDict[str, object]",
+    options_kwargs: Dict[str, object],
+    max_family_sessions: int,
+) -> Dict[str, object]:
+    """Run one solve request against the (possibly warm) family session."""
+    started = time.monotonic()
+    try:
+        from ..core.hqs import HqsOptions, HqsSolver
+        from ..core.result import Limits
+        from ..formula.dqdimacs import parse_dqdimacs
+
+        formula = parse_dqdimacs(str(message["formula"]))
+        family = str(message.get("family") or "_default")
+        session = sessions.pop(family, None)
+        solver = HqsSolver(HqsOptions(**options_kwargs), sat_session=session)
+        limits = Limits(
+            time_limit=message.get("time_limit"),
+            node_limit=message.get("node_limit"),
+        )
+        result = solver.solve(
+            formula, limits, checkpoint=message.get("checkpoint")
+        )
+        if solver.sat_session is not None and solver.sat_session.persistent:
+            sessions[family] = solver.sat_session
+            while len(sessions) > max_family_sessions:
+                sessions.popitem(last=False)
+        payload = result.as_dict()
+        payload["worker_pid"] = os.getpid()
+        payload["warm"] = int(session is not None)
+        return payload
+    except BaseException:
+        return {
+            "status": ERROR,
+            "runtime": time.monotonic() - started,
+            "stats": {"worker_error": 1.0},
+            "error": traceback.format_exc(),
+        }
+
+
+def _worker_main(
+    conn, options_kwargs: Dict[str, object], max_family_sessions: int
+) -> None:
+    """Request loop of one warm worker process."""
+    sessions: "OrderedDict[str, object]" = OrderedDict()
+    solves = 0
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        op = message.get("op")
+        if op == "shutdown":
+            _safe_send(conn, {"ok": True, "solves": solves})
+            break
+        if op == "ping":
+            _safe_send(
+                conn,
+                {"ok": True, "pid": os.getpid(), "families": list(sessions)},
+            )
+        elif op == "stall":  # test hook: a solver stuck in native code
+            time.sleep(float(message.get("seconds", 0.0)))
+            _safe_send(conn, {"ok": True})
+        elif op == "solve":
+            payload = _solve_message(
+                message, sessions, options_kwargs, max_family_sessions
+            )
+            solves += 1
+            _safe_send(conn, payload)
+        else:
+            _safe_send(conn, {"ok": False, "error": f"unknown worker op {op!r}"})
+    conn.close()
+
+
+# ----------------------------------------------------------------------
+# supervisor side
+# ----------------------------------------------------------------------
+
+class WarmWorker:
+    """One long-lived worker process plus its duplex pipe."""
+
+    def __init__(self, ctx, options_kwargs: Dict[str, object],
+                 max_family_sessions: int):
+        self._ctx = ctx
+        self._options_kwargs = options_kwargs
+        self._max_family_sessions = max_family_sessions
+        self.solves = 0
+        self.recycles = 0
+        self._spawn()
+
+    def _spawn(self) -> None:
+        parent, child = self._ctx.Pipe(duplex=True)
+        self.conn = parent
+        self.process = self._ctx.Process(
+            target=_worker_main,
+            args=(child, self._options_kwargs, self._max_family_sessions),
+            daemon=True,
+        )
+        self.process.start()
+        child.close()
+
+    def request(
+        self, message: Dict[str, object], hard_deadline: Optional[float]
+    ) -> Optional[Dict[str, object]]:
+        """Send one request, block for the reply.
+
+        ``None`` means the hard deadline passed (caller must
+        :meth:`recycle`); a dead worker surfaces as :class:`EOFError`.
+        """
+        self.conn.send(message)
+        while True:
+            if hard_deadline is None:
+                timeout = 1.0
+            else:
+                timeout = max(0.0, hard_deadline - time.monotonic())
+            if self.conn.poll(timeout):
+                return self.conn.recv()  # EOFError when the worker died
+            if not self.process.is_alive():
+                raise EOFError("worker died without replying")
+            if hard_deadline is not None and time.monotonic() >= hard_deadline:
+                return None
+
+    def recycle(self) -> None:
+        """Kill (if needed) and respawn — warm state is lost, slot survives."""
+        if self.process.is_alive():
+            self.process.terminate()
+        reap(self.process, self.conn)
+        self.recycles += 1
+        self._spawn()
+
+    def close(self, kill: bool = False) -> None:
+        if kill and self.process.is_alive():
+            self.process.terminate()
+        reap(self.process, self.conn)
+
+
+class WorkerPool:
+    """A fixed-size pool of :class:`WarmWorker` processes.
+
+    Fork the pool *before* starting threads or event loops (the workers
+    inherit a clean single-threaded image); it is then safe to call
+    :meth:`solve` from many threads concurrently.
+    """
+
+    def __init__(
+        self,
+        size: int = 2,
+        options_kwargs: Optional[Dict[str, object]] = None,
+        grace: Optional[float] = None,
+        max_family_sessions: int = MAX_FAMILY_SESSIONS,
+    ):
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        self.size = size
+        self.grace = grace
+        self._ctx = mp_context()
+        self._options_kwargs = dict(
+            DEFAULT_SOLVER_OPTIONS if options_kwargs is None else options_kwargs
+        )
+        self._workers: List[WarmWorker] = [
+            WarmWorker(self._ctx, self._options_kwargs, max_family_sessions)
+            for _ in range(size)
+        ]
+        self._locks = [threading.Lock() for _ in range(size)]
+        self._rr_lock = threading.Lock()
+        self._rr = 0
+        self._closed = False
+        self.hard_kills = 0
+        self.worker_deaths = 0
+        self.completed = 0
+
+    # ------------------------------------------------------------------
+    def route(self, family: Optional[str]) -> int:
+        """Worker index for ``family`` (affinity) or round-robin."""
+        if family:
+            return zlib.crc32(family.encode("utf-8")) % self.size
+        with self._rr_lock:
+            self._rr = (self._rr + 1) % self.size
+            return self._rr
+
+    def solve(
+        self,
+        formula: str,
+        family: Optional[str] = None,
+        time_limit: Optional[float] = None,
+        node_limit: Optional[int] = None,
+        checkpoint: Optional[str] = None,
+    ) -> Dict[str, object]:
+        """Solve DQDIMACS text on the family's warm worker (blocking)."""
+        message: Dict[str, object] = {
+            "op": "solve",
+            "formula": formula,
+            "family": family,
+            "time_limit": time_limit,
+            "node_limit": node_limit,
+            "checkpoint": checkpoint,
+        }
+        grace = default_grace(time_limit) if self.grace is None else self.grace
+        deadline = (
+            None if time_limit is None
+            else time.monotonic() + time_limit + grace
+        )
+        return self._request(self.route(family), message, deadline)
+
+    def _request(
+        self, index: int, message: Dict[str, object],
+        hard_deadline: Optional[float],
+    ) -> Dict[str, object]:
+        if self._closed:
+            return {
+                "status": ERROR,
+                "runtime": 0.0,
+                "stats": {"worker_error": 1.0},
+                "error": "worker pool is shut down",
+            }
+        worker = self._workers[index]
+        started = time.monotonic()
+        with self._locks[index]:
+            if self._closed:
+                return {
+                    "status": ERROR,
+                    "runtime": 0.0,
+                    "stats": {"worker_error": 1.0},
+                    "error": "worker pool is shut down",
+                }
+            try:
+                payload = worker.request(message, hard_deadline)
+            except (EOFError, OSError):
+                self.worker_deaths += 1
+                worker.recycle()
+                return {
+                    "status": ERROR,
+                    "runtime": time.monotonic() - started,
+                    "stats": {"worker_error": 1.0},
+                    "error": "worker died mid-request; recycled",
+                }
+            if payload is None:
+                self.hard_kills += 1
+                worker.recycle()
+                return {
+                    "status": TIMEOUT,
+                    "runtime": time.monotonic() - started,
+                    "stats": {"hard_timeout": 1.0},
+                }
+            worker.solves += 1
+            self.completed += 1
+            return payload
+
+    def ping(self) -> List[Dict[str, object]]:
+        """Liveness probe of every worker (serialized per worker)."""
+        replies = []
+        for index in range(self.size):
+            replies.append(self._request(index, {"op": "ping"},
+                                         time.monotonic() + 10.0))
+        return replies
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "workers": self.size,
+            "alive": sum(1 for w in self._workers if w.process.is_alive()),
+            "completed": self.completed,
+            "hard_kills": self.hard_kills,
+            "worker_deaths": self.worker_deaths,
+            "recycles": sum(w.recycles for w in self._workers),
+            "worker_solves": [w.solves for w in self._workers],
+        }
+
+    # ------------------------------------------------------------------
+    def shutdown(self, drain_timeout: float = 10.0) -> Dict[str, int]:
+        """Stop the pool, draining in-flight solves where possible.
+
+        Workers idle (or finishing within the drain budget) exit
+        cleanly; workers still busy past it are killed — their
+        in-progress solves survive as on-disk checkpoints, so nothing
+        is lost beyond the wall-clock already spent past the last
+        eliminated universal.
+        """
+        self._closed = True
+        deadline = time.monotonic() + max(0.0, drain_timeout)
+        drained = 0
+        killed = 0
+        for index, worker in enumerate(self._workers):
+            remaining = max(0.0, deadline - time.monotonic())
+            if self._locks[index].acquire(timeout=remaining):
+                try:
+                    try:
+                        worker.conn.send({"op": "shutdown"})
+                        worker.conn.poll(5.0)
+                    except (BrokenPipeError, OSError):
+                        pass
+                    worker.close()
+                    drained += 1
+                finally:
+                    self._locks[index].release()
+            else:
+                worker.close(kill=True)
+                killed += 1
+        return {"drained": drained, "killed": killed}
+
+    def kill(self) -> None:
+        """Immediate teardown (tests, error paths); no draining."""
+        self._closed = True
+        for worker in self._workers:
+            worker.close(kill=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        if not self._closed:
+            self.kill()

@@ -49,6 +49,81 @@ class TestFingerprint:
         assert formula_fingerprint(a) != formula_fingerprint(b)
 
 
+class TestFingerprintPublicApi:
+    """formula_fingerprint is public API (service cache keys): canonical
+    up to presentation order, sensitive to semantic edits, and stable
+    across processes regardless of PYTHONHASHSEED."""
+
+    UNIVERSALS = [1, 2]
+    EXISTENTIALS = [(3, [1]), (4, [1, 2])]
+    CLAUSES = [[1, -3, 4], [-1, 2, 3], [-2, -4], [3, 4, 1]]
+
+    def base(self):
+        return Dqbf.build(self.UNIVERSALS, self.EXISTENTIALS, self.CLAUSES)
+
+    def test_reexported_from_core(self):
+        from repro.core import formula_fingerprint as public
+        assert public is formula_fingerprint
+
+    def test_clause_reordering_is_canonical(self):
+        shuffled = Dqbf.build(
+            self.UNIVERSALS, self.EXISTENTIALS, list(reversed(self.CLAUSES))
+        )
+        assert formula_fingerprint(self.base()) == formula_fingerprint(shuffled)
+
+    def test_literal_order_is_canonical(self):
+        permuted = Dqbf.build(
+            self.UNIVERSALS, self.EXISTENTIALS,
+            [list(reversed(clause)) for clause in self.CLAUSES],
+        )
+        assert formula_fingerprint(self.base()) == formula_fingerprint(permuted)
+
+    def test_declaration_order_is_canonical(self):
+        permuted = Dqbf.build(
+            list(reversed(self.UNIVERSALS)),
+            list(reversed(self.EXISTENTIALS)),
+            self.CLAUSES,
+        )
+        assert formula_fingerprint(self.base()) == formula_fingerprint(permuted)
+
+    def test_matrix_edit_changes_fingerprint(self):
+        edited = Dqbf.build(
+            self.UNIVERSALS, self.EXISTENTIALS, self.CLAUSES + [[1, 2]]
+        )
+        assert formula_fingerprint(self.base()) != formula_fingerprint(edited)
+
+    def test_dependency_edit_changes_fingerprint(self):
+        edited = Dqbf.build(
+            self.UNIVERSALS, [(3, [1, 2]), (4, [1, 2])], self.CLAUSES
+        )
+        assert formula_fingerprint(self.base()) != formula_fingerprint(edited)
+
+    def test_stable_across_hashseed_processes(self):
+        """Cache keys must agree between server restarts: the digest may
+        not depend on the per-process str hash randomization."""
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.core import formula_fingerprint;"
+            "from repro.pec.families import make_bitcell;"
+            "print(formula_fingerprint(make_bitcell(3, 1, True, seed=2).formula))"
+        )
+        digests = set()
+        for hashseed in ("1", "2"):
+            env = dict(os.environ, PYTHONHASHSEED=hashseed)
+            env["PYTHONPATH"] = (
+                os.path.join(os.path.dirname(__file__), "..", "src")
+                + os.pathsep + env.get("PYTHONPATH", "")
+            )
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            digests.add(out.stdout.strip())
+        assert len(digests) == 1, f"fingerprint depends on PYTHONHASHSEED: {digests}"
+
+
 class TestRoundTrip:
     def test_capture_save_load_restore(self, tmp_path):
         state = _small_state()

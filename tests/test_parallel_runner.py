@@ -236,6 +236,38 @@ class TestResultLogResume:
         entries = ResultLog(str(path)).load()
         assert list(entries) == [(unsat_instance.name, "HQS")]
 
+    def test_append_survives_sigkill(self, tmp_path):
+        """Every acknowledged append is on disk even if the process is
+        SIGKILLed right after: append flushes *and* fsyncs each line."""
+        path = tmp_path / "killed.jsonl"
+        script = (
+            "import os, sys\n"
+            "from repro.experiments.parallel import ResultLog\n"
+            "log = ResultLog(sys.argv[1])\n"
+            "for i in range(5):\n"
+            "    log.append({'instance': f'i{i}', 'solver': 'HQS',\n"
+            "                'status': 'UNSAT', 'runtime': 0.0})\n"
+            "print('APPENDED', flush=True)\n"
+            "import time; time.sleep(30)\n"  # killed here, handle never closed
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            os.path.join(os.path.dirname(__file__), "..", "src")
+            + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script, str(path)],
+            stdout=subprocess.PIPE, text=True, env=env,
+        )
+        try:
+            assert proc.stdout.readline().strip() == "APPENDED"
+            proc.kill()  # SIGKILL: no atexit, no flush, no close
+        finally:
+            proc.wait(timeout=10)
+            proc.stdout.close()
+        entries = ResultLog(str(path)).load()
+        assert sorted(entries) == [(f"i{i}", "HQS") for i in range(5)]
+
     def test_resume_skips_recorded_pairs(self, tmp_path):
         """A pair in the log is *not* re-run: its (fabricated) logged status
         is returned verbatim, and only the missing pairs are solved."""

@@ -1,0 +1,421 @@
+"""Tests for the solver service: protocol, cache, warm pool, front door.
+
+The end-to-end tests start a real :class:`~repro.service.server.ServiceServer`
+on an ephemeral port inside a background thread (its own asyncio loop) and
+talk to it with the blocking :class:`~repro.service.client.ServiceClient` —
+the same path ``hqs-serve`` / ``hqs-client`` take, minus argparse.  Worker
+pools are forked in the test's main thread *before* the loop starts,
+matching the fork-before-threads discipline of :func:`repro.service.server.main`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro.formula.dqdimacs import parse_dqdimacs, write_dqdimacs
+from repro.pec.families import make_adder, make_comp
+from repro.core.checkpoint import formula_fingerprint
+from repro.service import (
+    DEFAULT_PORT,
+    ProtocolError,
+    ResultCache,
+    ServiceClient,
+    ServiceConfig,
+    ServiceServer,
+    SolverService,
+    WorkerPool,
+    decode_message,
+    encode_message,
+)
+from repro.service.client import ServiceError
+from repro.service.protocol import solve_request, validate_request
+
+
+def family_text(size=4, boxes=2, buggy=True, seed=5):
+    return write_dqdimacs(make_adder(size, boxes, buggy, seed=seed).formula)
+
+
+# ----------------------------------------------------------------------
+# protocol
+# ----------------------------------------------------------------------
+
+class TestProtocol:
+    def test_round_trip(self):
+        message = solve_request("p cnf 0 0\n", family="adder", timeout=1.5)
+        line = encode_message(message)
+        assert line.endswith(b"\n")
+        assert b"\n" not in line[:-1]
+        assert decode_message(line) == message
+
+    def test_decode_rejects_garbage(self):
+        for bad in (b"not json\n", b"[1, 2]\n", b"\xff\xfe\n"):
+            with pytest.raises(ProtocolError):
+                decode_message(bad)
+
+    def test_validate_checks_op(self):
+        with pytest.raises(ProtocolError):
+            validate_request({"op": "frobnicate"})
+        with pytest.raises(ProtocolError):
+            validate_request({})
+
+    def test_validate_solve_needs_formula(self):
+        with pytest.raises(ProtocolError):
+            validate_request({"op": "solve"})
+        with pytest.raises(ProtocolError):
+            validate_request({"op": "solve", "formula": ""})
+        with pytest.raises(ProtocolError):
+            validate_request({"op": "solve", "formula": "p", "timeout": -1})
+        assert validate_request({"op": "solve", "formula": "p cnf 0 0"}) == "solve"
+
+    def test_default_port_is_paper_year(self):
+        assert DEFAULT_PORT == 20150  # DATE 2015
+
+
+# ----------------------------------------------------------------------
+# result cache
+# ----------------------------------------------------------------------
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache(capacity=4)
+        assert cache.lookup("fp") is None
+        assert cache.store("fp", {"status": "UNSAT", "runtime": 0.1})
+        hit = cache.lookup("fp")
+        assert hit["status"] == "UNSAT" and hit["cache"] == "hit"
+        assert cache.stats.memory_hits == 1 and cache.stats.misses == 1
+
+    def test_only_definitive_results_cached(self):
+        cache = ResultCache(capacity=4)
+        for status in ("UNKNOWN", "TIMEOUT", "ERROR"):
+            assert not cache.store("fp-" + status, {"status": status})
+            assert cache.lookup("fp-" + status) is None
+        assert cache.stats.uncacheable == 3
+
+    def test_lru_eviction(self):
+        cache = ResultCache(capacity=2)
+        cache.store("a", {"status": "SAT"})
+        cache.store("b", {"status": "SAT"})
+        cache.lookup("a")  # refresh a -> b is now least recent
+        cache.store("c", {"status": "SAT"})
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_disk_tier_survives_eviction(self, tmp_path):
+        cache = ResultCache(capacity=1, disk_dir=str(tmp_path))
+        cache.store("a", {"status": "SAT", "runtime": 0.5})
+        cache.store("b", {"status": "UNSAT"})  # evicts a from memory
+        assert "a" not in cache
+        hit = cache.lookup("a")
+        assert hit is not None and hit["status"] == "SAT"
+        assert hit["cache"] == "disk"
+        assert cache.stats.disk_hits == 1
+        # the disk hit promoted it back into memory
+        assert cache.lookup("a")["cache"] == "hit"
+
+    def test_checkpoint_paths(self, tmp_path):
+        memory_only = ResultCache(capacity=2)
+        assert memory_only.checkpoint_path("fp") is None
+        cache = ResultCache(capacity=2, disk_dir=str(tmp_path))
+        path = cache.checkpoint_path("fp")
+        assert path is not None and not cache.has_checkpoint("fp")
+        with open(path, "w") as handle:
+            handle.write("snapshot")
+        assert cache.has_checkpoint("fp")
+
+
+# ----------------------------------------------------------------------
+# warm worker pool
+# ----------------------------------------------------------------------
+
+class TestWorkerPool:
+    def test_solves_and_answers(self):
+        with WorkerPool(size=1) as pool:
+            payload = pool.solve(family_text(buggy=True), family="adder")
+            assert payload["status"] == "UNSAT"
+            payload = pool.solve(family_text(buggy=False), family="adder")
+            assert payload["status"] == "SAT"
+
+    def test_warm_session_reuses_learned_clauses(self):
+        """Two same-family solves: the second inherits learned clauses."""
+        with WorkerPool(size=1) as pool:
+            first = pool.solve(family_text(seed=5), family="adder")
+            second = pool.solve(family_text(seed=7), family="adder")
+        assert first["status"] == "UNSAT" and second["status"] == "UNSAT"
+        assert first["warm"] == 0 and second["warm"] == 1
+        assert first["worker_pid"] == second["worker_pid"]
+        assert first["stats"]["sat_warm_learnts"] == 0
+        assert second["stats"]["sat_warm_learnts"] > 0
+        assert second["stats"]["sat_session_shared"] == 1.0
+
+    def test_family_routing_is_stable(self):
+        with WorkerPool(size=3) as pool:
+            assert pool.route("adder") == pool.route("adder")
+            indices = {pool.route(None) for _ in range(6)}
+            assert indices == {0, 1, 2}  # round-robin covers the pool
+
+    def test_stalled_worker_is_hard_killed_and_recycled(self):
+        with WorkerPool(size=1, grace=0.2) as pool:
+            worker_before = pool._workers[0].process.pid
+            payload = pool._request(
+                0, {"op": "stall", "seconds": 30.0},
+                time.monotonic() + 0.3,
+            )
+            assert payload["status"] == "TIMEOUT"
+            assert payload["stats"]["hard_timeout"] == 1.0
+            assert pool.hard_kills == 1
+            # the slot was respawned and serves again
+            after = pool.solve(family_text(), family="adder")
+            assert after["status"] == "UNSAT"
+            assert after["worker_pid"] != worker_before
+
+    def test_dead_worker_is_recycled(self):
+        with WorkerPool(size=1) as pool:
+            pool._workers[0].process.kill()
+            payload = pool.solve(family_text(), family="adder")
+            assert payload["status"] == "ERROR"
+            assert pool.worker_deaths == 1
+            assert pool.solve(family_text(), family="adder")["status"] == "UNSAT"
+
+    def test_bad_formula_is_contained(self):
+        with WorkerPool(size=1) as pool:
+            payload = pool.solve("this is not dqdimacs", family="x")
+            assert payload["status"] == "ERROR"
+            assert "Traceback" in payload["error"]
+            # worker survived the exception
+            assert pool.solve(family_text(), family="x")["status"] == "UNSAT"
+
+    def test_shutdown_drains_idle_workers(self):
+        pool = WorkerPool(size=2)
+        pool.solve(family_text(), family="adder")
+        summary = pool.shutdown(drain_timeout=5.0)
+        assert summary == {"drained": 2, "killed": 0}
+        assert all(not w.process.is_alive() for w in pool._workers)
+
+    def test_checkpoint_resume_across_requests(self, tmp_path):
+        """A budget-limited solve leaves a checkpoint; the retry resumes."""
+        formula = write_dqdimacs(
+            make_comp(6, 2, buggy=True, seed=11).formula
+        )
+        ckpt = str(tmp_path / "resume.ckpt")
+        with WorkerPool(size=1) as pool:
+            first = pool.solve(formula, family="comp",
+                               node_limit=800, checkpoint=ckpt)
+            assert first["status"] == "UNKNOWN"
+            assert first["stats"].get("checkpoint_writes", 0) >= 1
+            second = pool.solve(formula, family="comp", checkpoint=ckpt)
+            assert second["status"] in ("SAT", "UNSAT")
+            assert second["stats"].get("checkpoint_resumed") == 1.0
+
+
+# ----------------------------------------------------------------------
+# in-flight deduplication (transport-independent layer)
+# ----------------------------------------------------------------------
+
+class _BlockingPool:
+    """Pool stand-in whose solve() blocks until released (deterministic
+    overlap for the coalescing test)."""
+
+    size = 2
+
+    def __init__(self):
+        self.calls = 0
+        self.release = threading.Event()
+
+    def solve(self, formula, family=None, time_limit=None,
+              node_limit=None, checkpoint=None):
+        self.calls += 1
+        assert self.release.wait(10.0)
+        return {"status": "UNSAT", "runtime": 0.01, "stats": {}}
+
+    def stats(self):
+        return {"workers": self.size}
+
+    def shutdown(self, drain_timeout=10.0):
+        return {"drained": self.size, "killed": 0}
+
+
+class TestInflightDedup:
+    def test_concurrent_duplicates_coalesce(self):
+        pool = _BlockingPool()
+        service = SolverService(pool, ResultCache(), ServiceConfig())
+        text = family_text()
+
+        async def go():
+            first = asyncio.create_task(service.handle(solve_request(text)))
+            await asyncio.sleep(0.05)  # first registers as in-flight
+            second = asyncio.create_task(service.handle(solve_request(text)))
+            await asyncio.sleep(0.05)
+            pool.release.set()
+            return await asyncio.gather(first, second)
+
+        try:
+            first, second = asyncio.run(go())
+        finally:
+            service.close()
+        assert pool.calls == 1  # one solve answered both requests
+        assert first["cache"] == "miss" and second["cache"] == "coalesced"
+        assert first["status"] == second["status"] == "UNSAT"
+        assert service.coalesced == 1
+
+    def test_no_cache_bypasses_dedup_and_cache(self):
+        pool = _BlockingPool()
+        pool.release.set()
+        service = SolverService(pool, ResultCache(), ServiceConfig())
+        text = family_text()
+
+        async def go():
+            await service.handle(solve_request(text))
+            return await service.handle(solve_request(text, no_cache=True))
+
+        try:
+            response = asyncio.run(go())
+        finally:
+            service.close()
+        assert pool.calls == 2
+        assert response["cache"] == "miss"
+
+
+# ----------------------------------------------------------------------
+# end-to-end server
+# ----------------------------------------------------------------------
+
+def start_server(config, pool):
+    """Run a ServiceServer in a daemon thread; returns (server, box, thread).
+
+    ``box["summary"]`` holds the shutdown summary once the thread exits.
+    """
+    server = ServiceServer(config, pool)
+    ready = threading.Event()
+    box = {}
+
+    def runner():
+        async def go():
+            await server.start()
+            ready.set()
+            return await server.serve(install_signals=False)
+
+        box["summary"] = asyncio.run(go())
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    assert ready.wait(10.0), "server failed to start"
+    return server, box, thread
+
+
+@pytest.fixture
+def live_server(tmp_path):
+    # Fork the pool in the main thread, before the server thread's loop.
+    pool = WorkerPool(size=2)
+    config = ServiceConfig(
+        port=0, http_port=0, workers=2,
+        cache_dir=str(tmp_path / "cache"),
+        log_path=str(tmp_path / "results.jsonl"),
+        drain_timeout=5.0,
+    )
+    server, box, thread = start_server(config, pool)
+    yield server, box, config
+    if thread.is_alive():
+        server_loop_stop(server)
+        thread.join(timeout=15.0)
+    if any(w.process.is_alive() for w in pool._workers):
+        pool.kill()
+
+
+def server_loop_stop(server):
+    try:
+        with ServiceClient(port=server.port, timeout=5.0) as client:
+            client.shutdown()
+    except ServiceError:
+        pass
+
+
+class TestServerEndToEnd:
+    def test_solve_miss_then_hit_then_shutdown(self, live_server):
+        server, box, config = live_server
+        text = family_text()
+        fingerprint = formula_fingerprint(parse_dqdimacs(text))
+        with ServiceClient(port=server.port) as client:
+            assert client.ping()["pong"] is True
+            first = client.solve(text, family="adder", timeout=30.0)
+            assert first["status"] == "UNSAT"
+            assert first["cache"] == "miss"
+            assert first["fingerprint"] == fingerprint
+            second = client.solve(text, family="adder")
+            assert second["cache"] == "hit"
+            assert second["status"] == "UNSAT"
+            stats = client.stats()
+            assert stats["cache"]["memory_hits"] == 1
+            assert stats["pool"]["completed"] == 1
+            client.shutdown()
+        # server drains and exits; exactly one fsynced log line
+        deadline = time.monotonic() + 15.0
+        while "summary" not in box and time.monotonic() < deadline:
+            time.sleep(0.05)
+        summary = box["summary"]
+        assert summary["undrained"] == 0
+        assert summary["pool"]["killed"] == 0
+        with open(config.log_path) as handle:
+            entries = [json.loads(line) for line in handle if line.strip()]
+        assert len(entries) == 1
+        assert entries[0]["instance"] == fingerprint
+        assert entries[0]["status"] == "UNSAT"
+
+    def test_bad_requests_keep_connection_alive(self, live_server):
+        server, _box, _config = live_server
+        with ServiceClient(port=server.port) as client:
+            with pytest.raises(ServiceError, match="bad formula"):
+                client.solve("p cnf nope", family="x")
+            with pytest.raises(ServiceError, match="unknown op"):
+                client.request({"op": "launch-missiles"})
+            # same connection still serves good requests
+            assert client.solve(family_text())["status"] == "UNSAT"
+
+    def test_http_front_end(self, live_server):
+        import http.client
+
+        server, _box, _config = live_server
+        conn = http.client.HTTPConnection("127.0.0.1", server.http_port,
+                                          timeout=30.0)
+        try:
+            body = json.dumps({"formula": family_text(), "family": "adder"})
+            conn.request("POST", "/solve", body=body,
+                         headers={"Content-Type": "application/json"})
+            reply = json.loads(conn.getresponse().read())
+            assert reply["ok"] is True and reply["status"] == "UNSAT"
+        finally:
+            conn.close()
+        conn = http.client.HTTPConnection("127.0.0.1", server.http_port,
+                                          timeout=10.0)
+        try:
+            conn.request("GET", "/stats")
+            stats = json.loads(conn.getresponse().read())
+            assert stats["requests"] >= 1
+        finally:
+            conn.close()
+
+    def test_concurrent_duplicate_clients_coalesce_or_hit(self, live_server):
+        server, _box, _config = live_server
+        text = family_text(seed=9)
+        results = []
+
+        def hammer():
+            with ServiceClient(port=server.port) as client:
+                results.append(client.solve(text, family="adder",
+                                            timeout=30.0))
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+        assert len(results) == 4
+        statuses = {r["status"] for r in results}
+        assert statuses == {"UNSAT"}
+        tags = sorted(r["cache"] for r in results)
+        assert tags.count("miss") == 1  # exactly one real solve
+        assert all(tag in ("miss", "hit", "coalesced") for tag in tags)
