@@ -48,6 +48,7 @@ import time
 from pathlib import Path
 from typing import Dict, List
 
+from repro import durable
 from repro.core.hqs import HqsOptions, HqsSolver
 from repro.core.result import Limits, SAT, UNSAT
 from repro.formula.dqdimacs import parse_dqdimacs, write_dqdimacs
@@ -198,7 +199,8 @@ def _load_log_keys(log_path: str) -> List[str]:
     with open(log_path, "r", encoding="utf-8") as handle:
         for line in handle:
             if line.strip():
-                keys.append(str(json.loads(line)["instance"]))
+                payload, _verdict = durable.unframe_line(line)
+                keys.append(str(json.loads(payload)["instance"]))
     return keys
 
 

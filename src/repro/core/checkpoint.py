@@ -27,8 +27,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
+from .. import durable
 from ..aig.aiger import parse_aiger, write_aiger
 from ..formula.dqbf import Dqbf
 from ..formula.prefix import DependencyPrefix
@@ -208,24 +209,58 @@ class SolverCheckpoint:
             raise CheckpointError(f"malformed checkpoint: {exc}") from exc
 
     def save(self, path: str) -> None:
-        """Atomically write the checkpoint (temp file + rename)."""
-        tmp = f"{path}.tmp.{os.getpid()}"
-        with open(tmp, "w") as handle:
-            json.dump(self.as_dict(), handle)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
+        """Atomically write the checkpoint under a CRC-32 frame.
+
+        The frame (see :mod:`repro.durable`) is what lets a resuming
+        solver distinguish "valid snapshot" from "torn write" instead
+        of trusting whatever JSON happens to parse; the write is a
+        :mod:`repro.faults` injection site (``checkpoint.save``).
+        """
+        payload = json.dumps(self.as_dict()).encode("utf-8")
+        durable.write_framed(path, payload, fault_site="checkpoint.save")
 
     @classmethod
     def load(cls, path: str) -> "SolverCheckpoint":
         try:
-            with open(path) as handle:
-                payload = json.load(handle)
-        except (OSError, json.JSONDecodeError) as exc:
+            data = durable.read_framed(path)
+        except durable.CorruptRecordError as exc:
+            raise CheckpointError(f"corrupt checkpoint {path!r}: {exc}") from exc
+        except OSError as exc:
             raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+        try:
+            payload = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"corrupt checkpoint {path!r}: {exc}") from exc
         if not isinstance(payload, dict):
             raise CheckpointError("checkpoint root must be a JSON object")
         return cls.from_dict(payload)
+
+    @classmethod
+    def load_or_quarantine(
+        cls, path: str, fingerprint: Optional[str] = None
+    ) -> Tuple[Optional["SolverCheckpoint"], Optional[str]]:
+        """Load a checkpoint, diagnosing (and containing) any problem.
+
+        Returns ``(checkpoint, None)`` on success and ``(None,
+        diagnosis)`` otherwise.  A corrupt file is quarantined (renamed
+        to ``*.corrupt``) so the evidence survives and the next attempt
+        starts from a clean directory; a fingerprint mismatch leaves
+        the file alone (it belongs to a different formula).
+        """
+        if not os.path.exists(path):
+            return None, None
+        try:
+            checkpoint = cls.load(path)
+        except CheckpointError as exc:
+            quarantined = durable.quarantine(path)
+            where = f"; quarantined to {quarantined}" if quarantined else ""
+            return None, f"{exc}{where}"
+        if fingerprint is not None and checkpoint.fingerprint != fingerprint:
+            return None, (
+                f"checkpoint {path!r} belongs to a different formula "
+                f"({checkpoint.fingerprint[:12]} != {fingerprint[:12]})"
+            )
+        return checkpoint, None
 
     @classmethod
     def try_load(
@@ -235,16 +270,10 @@ class SolverCheckpoint:
 
         Missing, corrupt or mismatched checkpoints yield ``None`` — a
         resume must never be worse than starting over, so any problem
-        with the file just falls back to a fresh solve.
+        with the file just falls back to a fresh solve (corrupt files
+        are quarantined; see :meth:`load_or_quarantine`).
         """
-        if not os.path.exists(path):
-            return None
-        try:
-            checkpoint = cls.load(path)
-        except CheckpointError:
-            return None
-        if fingerprint is not None and checkpoint.fingerprint != fingerprint:
-            return None
+        checkpoint, _diagnosis = cls.load_or_quarantine(path, fingerprint)
         return checkpoint
 
     def __repr__(self) -> str:

@@ -229,7 +229,14 @@ class HqsSolver:
         resumed: Optional[SolverCheckpoint] = None
         if checkpoint_path is not None:
             fingerprint = formula_fingerprint(formula)
-            resumed = SolverCheckpoint.try_load(checkpoint_path, fingerprint)
+            resumed, corrupt = SolverCheckpoint.load_or_quarantine(
+                checkpoint_path, fingerprint
+            )
+            if corrupt is not None:
+                # A bad snapshot must cost a restart, never the answer:
+                # record the diagnosis and fall through to a fresh solve.
+                self.stats["checkpoint_corrupt"] = 1
+                self._trace(f"checkpoint unusable, starting fresh: {corrupt}")
         if resumed is not None:
             return self._resume(resumed, guard, checkpoint_path, fingerprint)
 

@@ -1,0 +1,381 @@
+"""Deterministic, seeded fault injection for the serving stack.
+
+The service survives worker crashes, torn disk writes and dropped
+connections — but only the failure modes somebody thought to test.
+This module makes arbitrary fault schedules *reproducible*: a
+:class:`FaultPlan` is an explicit list of scheduled faults ("the 3rd
+disk write at ``cache.write`` is torn", "the 5th solve crashes the
+worker"), built either from a compact spec string (the ``REPRO_FAULTS``
+environment variable), programmatically, or from a seeded RNG
+(:meth:`FaultPlan.random`) for chaos soaks.  Replaying the same plan
+against the same request schedule reproduces the same failure sequence,
+which is what turns "the service wedged once in CI" into a regression
+test.
+
+Injection sites
+---------------
+
+Sites are stable string names; each site keeps its own 1-based event
+counter, so "the Nth event at site S" is well defined regardless of
+what other sites do:
+
+``pool.solve``
+    one solve request arriving at a warm worker (worker process side).
+    Kinds: ``crash`` (the worker process exits abruptly), ``wedge``
+    (the worker blocks past any deadline), ``slow`` (the reply is
+    delayed by ``seconds``), ``clock`` (the request's time budget is
+    collapsed to ``seconds`` — cooperative budget exhaustion).
+``parallel.worker``
+    one (instance, solver) worker of the benchmark runner starting.
+    Kinds: ``crash``, ``wedge``, ``slow``.
+``cache.write``
+    one on-disk result-cache store.  Kinds: ``torn`` (the destination
+    file ends up with a prefix of the record), ``ioerror`` (the write
+    raises :class:`OSError`).
+``checkpoint.save``
+    one :class:`~repro.core.SolverCheckpoint` save.  Kinds: ``torn``,
+    ``ioerror``.
+``log.append``
+    one result-log record append.  Kinds: ``torn``, ``ioerror``.
+``server.send``
+    one response line leaving the TCP front door.  Kinds: ``drop``
+    (half the frame is written, then the connection is aborted),
+    ``slow`` (the write is delayed by ``seconds``).
+
+Spec grammar (one line, ``;``-separated)::
+
+    plan  := fault (";" fault)*
+    fault := site ":" kind "@" nth ["x" count] ("," key "=" value)*
+
+``nth`` is the 1-based index of the first affected event at that site,
+``count`` (default 1) how many consecutive events fault.  Example::
+
+    REPRO_FAULTS="pool.solve:crash@2;cache.write:torn@1x2;server.send:drop@3,seconds=0.1"
+
+Processes: the plan is carried by value.  Forked workers inherit the
+parent's installed plan (each process counts its own events); spawned
+processes pick the plan up again from ``REPRO_FAULTS``.  The counters
+are intentionally per-process — a schedule names "the Nth event *this
+process* sees at that site", which is what stays deterministic when
+several workers run concurrently.
+
+With no plan installed and no ``REPRO_FAULTS`` set, :func:`fire` is a
+single attribute check — cheap enough to leave in production paths.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Environment variable holding a plan spec (parsed lazily, once).
+ENV_VAR = "REPRO_FAULTS"
+
+#: site -> fault kinds that make sense there (validated at plan build).
+SITES: Dict[str, Tuple[str, ...]] = {
+    "pool.solve": ("crash", "wedge", "slow", "clock"),
+    "parallel.worker": ("crash", "wedge", "slow"),
+    "cache.write": ("torn", "ioerror"),
+    "checkpoint.save": ("torn", "ioerror"),
+    "log.append": ("torn", "ioerror"),
+    "server.send": ("drop", "slow"),
+}
+
+KINDS = tuple(sorted({kind for kinds in SITES.values() for kind in kinds}))
+
+
+class FaultSpecError(ValueError):
+    """Raised on a malformed plan spec or an impossible (site, kind)."""
+
+
+class Fault:
+    """One scheduled fault: ``kind`` at the ``nth`` event of ``site``."""
+
+    __slots__ = ("site", "kind", "nth", "count", "args")
+
+    def __init__(
+        self,
+        site: str,
+        kind: str,
+        nth: int,
+        count: int = 1,
+        args: Optional[Dict[str, float]] = None,
+    ) -> None:
+        if site not in SITES:
+            raise FaultSpecError(
+                f"unknown fault site {site!r} (expected one of {sorted(SITES)})"
+            )
+        if kind not in SITES[site]:
+            raise FaultSpecError(
+                f"fault kind {kind!r} is not injectable at {site!r} "
+                f"(supports {SITES[site]})"
+            )
+        if nth < 1 or count < 1:
+            raise FaultSpecError(
+                f"fault schedule indices are 1-based: nth={nth}, count={count}"
+            )
+        self.site = site
+        self.kind = kind
+        self.nth = nth
+        self.count = count
+        self.args = dict(args or {})
+
+    @property
+    def seconds(self) -> float:
+        """Delay/budget argument of ``slow``/``clock`` faults."""
+        return float(self.args.get("seconds", 0.25))
+
+    def covers(self, n: int) -> bool:
+        return self.nth <= n < self.nth + self.count
+
+    def spec(self) -> str:
+        text = f"{self.site}:{self.kind}@{self.nth}"
+        if self.count != 1:
+            text += f"x{self.count}"
+        for key in sorted(self.args):
+            text += f",{key}={self.args[key]:g}"
+        return text
+
+    def __repr__(self) -> str:
+        return f"Fault({self.spec()!r})"
+
+
+class FaultPlan:
+    """A schedule of faults plus the per-site event counters.
+
+    Thread-safe: many executor threads and the supervisor can call
+    :func:`fire` concurrently.  ``plan.fired`` records every fault that
+    actually triggered, for test assertions and chaos-soak reports.
+    """
+
+    def __init__(self, faults: Sequence[Fault] = ()) -> None:
+        self.faults: List[Fault] = list(faults)
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self.fired: List[Tuple[str, str, int]] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Build a plan from the ``REPRO_FAULTS`` grammar (see module doc)."""
+        faults: List[Fault] = []
+        for part in spec.split(";"):
+            part = part.strip()
+            if not part:
+                continue
+            head, *kvs = part.split(",")
+            try:
+                site, _, rest = head.partition(":")
+                kind, _, where = rest.partition("@")
+                nth_text, _, count_text = where.partition("x")
+                nth = int(nth_text)
+                count = int(count_text) if count_text else 1
+            except ValueError as exc:
+                raise FaultSpecError(f"cannot parse fault {part!r}: {exc}") from exc
+            if not kind or not where:
+                raise FaultSpecError(
+                    f"cannot parse fault {part!r} (want site:kind@nth)"
+                )
+            args: Dict[str, float] = {}
+            for kv in kvs:
+                key, eq, value = kv.partition("=")
+                if not eq:
+                    raise FaultSpecError(f"bad fault argument {kv!r} in {part!r}")
+                try:
+                    args[key.strip()] = float(value)
+                except ValueError as exc:
+                    raise FaultSpecError(
+                        f"fault argument {kv!r} is not numeric"
+                    ) from exc
+            faults.append(Fault(site.strip(), kind.strip(), nth, count, args))
+        return cls(faults)
+
+    @classmethod
+    def from_env(cls, environ=None) -> Optional["FaultPlan"]:
+        """The plan named by ``REPRO_FAULTS``, or ``None`` when unset."""
+        spec = (environ or os.environ).get(ENV_VAR, "").strip()
+        if not spec:
+            return None
+        return cls.parse(spec)
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        events: int,
+        horizon: int,
+        sites: Optional[Iterable[str]] = None,
+        kinds: Optional[Iterable[str]] = None,
+        seconds: float = 0.05,
+    ) -> "FaultPlan":
+        """A seeded randomized schedule of ``events`` faults.
+
+        Each fault picks a site, an eligible kind and a 1-based event
+        index up to ``horizon``.  The same ``seed`` always yields the
+        same plan — chaos soaks commit the seed, not the schedule.
+        """
+        rng = random.Random(seed)
+        site_pool = sorted(sites) if sites is not None else sorted(SITES)
+        kind_pool = set(kinds) if kinds is not None else set(KINDS)
+        faults: List[Fault] = []
+        for _ in range(events):
+            candidates = [
+                (site, kind)
+                for site in site_pool
+                for kind in SITES[site]
+                if kind in kind_pool
+            ]
+            if not candidates:
+                raise FaultSpecError(
+                    f"no (site, kind) combination left of sites={site_pool} "
+                    f"kinds={sorted(kind_pool)}"
+                )
+            site, kind = candidates[rng.randrange(len(candidates))]
+            nth = rng.randint(1, max(1, horizon))
+            args = {"seconds": seconds} if kind in ("slow", "clock") else None
+            faults.append(Fault(site, kind, nth, args=args))
+        return cls(faults)
+
+    # ------------------------------------------------------------------
+    # runtime
+    # ------------------------------------------------------------------
+    def fire(self, site: str) -> Optional[Fault]:
+        """Count one event at ``site``; the scheduled fault for it, if any.
+
+        When several faults cover the same event the first in plan
+        order wins (write specs accordingly).
+        """
+        with self._lock:
+            n = self._counters.get(site, 0) + 1
+            self._counters[site] = n
+            for fault in self.faults:
+                if fault.site == site and fault.covers(n):
+                    self.fired.append((site, fault.kind, n))
+                    return fault
+        return None
+
+    def events(self, site: str) -> int:
+        with self._lock:
+            return self._counters.get(site, 0)
+
+    def advance(self, site: str, count: int) -> None:
+        """Fast-forward ``site``'s counter to at least ``count`` events.
+
+        Used when a schedule spans process incarnations: a respawned
+        worker is handed the number of events its slot already saw, so
+        it continues the plan instead of replaying it from event 1.
+        """
+        with self._lock:
+            self._counters[site] = max(self._counters.get(site, 0), count)
+
+    def fired_kinds(self) -> Dict[str, int]:
+        with self._lock:
+            kinds: Dict[str, int] = {}
+            for _site, kind, _n in self.fired:
+                kinds[kind] = kinds.get(kind, 0) + 1
+            return kinds
+
+    def spec(self) -> str:
+        return ";".join(fault.spec() for fault in self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({self.spec()!r}, fired={len(self.fired)})"
+
+    # A plan must cross process boundaries (pool workers under spawn);
+    # the lock is process-local and counters start fresh per process.
+    def __getstate__(self) -> Dict[str, object]:
+        return {"faults": self.faults}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__init__(state["faults"])  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+# process-wide plan
+# ----------------------------------------------------------------------
+
+#: The installed plan; ``False`` = not yet resolved from the environment.
+_active: Optional[FaultPlan] = None
+_resolved = False
+_install_lock = threading.Lock()
+
+
+def install(plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
+    """Install ``plan`` process-wide (``None`` disables injection)."""
+    global _active, _resolved
+    with _install_lock:
+        _active = plan
+        _resolved = True
+    return plan
+
+
+def active() -> Optional[FaultPlan]:
+    """The process-wide plan (first call resolves ``REPRO_FAULTS``)."""
+    global _active, _resolved
+    if not _resolved:
+        with _install_lock:
+            if not _resolved:
+                _active = FaultPlan.from_env()
+                _resolved = True
+    return _active
+
+
+def clear() -> None:
+    """Forget the installed plan *and* the env resolution (tests)."""
+    global _active, _resolved
+    with _install_lock:
+        _active = None
+        _resolved = False
+
+
+def fire(site: str) -> Optional[Fault]:
+    """One event at ``site`` against the process-wide plan (fast no-op
+    when no plan is installed)."""
+    plan = _active
+    if plan is None:
+        if _resolved:
+            return None
+        plan = active()
+        if plan is None:
+            return None
+    return plan.fire(site)
+
+
+# ----------------------------------------------------------------------
+# worker-side fault behaviours (shared by pool + parallel runner)
+# ----------------------------------------------------------------------
+
+def crash_process(code: int = 66) -> None:  # pragma: no cover - exits
+    """Die the way a segfault/OOM kill looks from the supervisor."""
+    os._exit(code)
+
+
+def wedge_process(seconds: float = 3600.0) -> None:
+    """Block well past any reasonable deadline (a solver stuck in
+    native code); the supervisor's hard kill is the only way out."""
+    time.sleep(seconds)
+
+
+def apply_worker_fault(fault: Optional[Fault]) -> Optional[Fault]:
+    """Enact a ``crash``/``wedge``/``slow`` fault in a worker process.
+
+    Returns the fault (``clock`` and unknown kinds are left for the
+    caller, which knows the request's budget).
+    """
+    if fault is None:
+        return None
+    if fault.kind == "crash":  # pragma: no cover - exits the process
+        crash_process()
+    elif fault.kind == "wedge":
+        wedge_process(fault.args.get("seconds", 3600.0))
+    elif fault.kind == "slow":
+        time.sleep(fault.seconds)
+    return fault

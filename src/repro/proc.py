@@ -10,7 +10,9 @@ gets before a hard kill, and how a possibly-wedged process is reaped.
 from __future__ import annotations
 
 import multiprocessing
-from typing import Optional
+import os
+import stat
+from typing import Iterable, Optional
 
 
 def mp_context():
@@ -24,6 +26,44 @@ def mp_context():
     if "fork" in methods:
         return multiprocessing.get_context("fork")
     return multiprocessing.get_context()
+
+
+def close_foreign_sockets(keep: Iterable[int] = ()) -> int:
+    """Close socket fds a forked worker inherited but does not own.
+
+    A worker forked while the server is serving inherits duplicates of
+    every live fd — the TCP listener and every open client connection
+    included.  Those duplicates are not just clutter: as long as the
+    worker holds one, the kernel never sends FIN when the server closes
+    (or aborts) that connection, so a client blocked on a reply waits
+    out its full socket timeout instead of seeing EOF immediately.
+
+    Call this first thing in a worker entry, keeping only the fds the
+    worker actually uses (its command pipe).  Only *sockets* are
+    closed: pipes (``multiprocessing`` plumbing, the resource tracker)
+    and regular files are left alone, and so are fds 0-2.  Without
+    ``/proc/self/fd`` (non-Linux) this is a no-op — leaking the dups is
+    safe, merely slower for the unlucky client.
+
+    Returns the number of fds closed.
+    """
+    keep_fds = set(keep)
+    try:
+        inherited = [int(name) for name in os.listdir("/proc/self/fd")]
+    except OSError:  # pragma: no cover - no procfs on this platform
+        return 0
+    closed = 0
+    for fd in inherited:
+        if fd < 3 or fd in keep_fds:
+            continue
+        try:
+            if not stat.S_ISSOCK(os.fstat(fd).st_mode):
+                continue
+            os.close(fd)
+        except OSError:  # the listdir fd itself, or a racing close
+            continue
+        closed += 1
+    return closed
 
 
 def default_grace(time_limit: Optional[float]) -> float:
@@ -45,10 +85,29 @@ def reap(process, conn=None, timeout: float = 5.0) -> None:
     Closes ``conn`` (the supervisor's pipe end) afterwards so a wedged
     worker cannot keep the pipe buffer — and therefore the supervisor —
     alive.
+
+    Tolerates racing reapers: when a supervisor heartbeat thread and a
+    hard-kill request path go after the same pid, the loser sees a
+    child that is already waited on (``ECHILD`` from ``waitpid``, a
+    ``ProcessLookupError`` from the kill, or a ``ValueError`` from a
+    process object another path already closed).  All of those mean
+    "the process is gone", which is exactly what reaping wanted — so
+    they are absorbed rather than raised into the request path.
     """
-    process.join(timeout=timeout)
-    if process.is_alive():  # pragma: no cover - stuck in the kernel
-        process.kill()
-        process.join()
+    try:
+        process.join(timeout=timeout)
+    except (OSError, ValueError, AssertionError):
+        # already reaped elsewhere (ECHILD), object closed, or joined
+        # from a state multiprocessing did not expect: nothing to wait on
+        pass
+    try:
+        if process.is_alive():  # pragma: no cover - stuck in the kernel
+            process.kill()
+            process.join()
+    except (OSError, ValueError, ProcessLookupError, AssertionError):
+        pass  # pragma: no cover - lost the race with another reaper
     if conn is not None:
-        conn.close()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - pipe torn down concurrently
+            pass

@@ -36,7 +36,13 @@ Quickstart::
 """
 
 from .cache import CacheStats, ResultCache
-from .client import ServiceClient, wait_for_server
+from .client import (
+    ServiceBusyError,
+    ServiceClient,
+    ServiceError,
+    ServiceProtocolError,
+    wait_for_server,
+)
 from .pool import WorkerPool
 from .protocol import DEFAULT_PORT, ProtocolError, decode_message, encode_message
 from .server import ServiceConfig, ServiceServer, SolverService
@@ -44,7 +50,10 @@ from .server import ServiceConfig, ServiceServer, SolverService
 __all__ = [
     "CacheStats",
     "ResultCache",
+    "ServiceBusyError",
     "ServiceClient",
+    "ServiceError",
+    "ServiceProtocolError",
     "wait_for_server",
     "WorkerPool",
     "DEFAULT_PORT",

@@ -37,6 +37,7 @@ import threading
 from collections import OrderedDict
 from typing import Dict, Optional
 
+from .. import durable
 from ..core.result import SAT, UNSAT
 
 #: Filename suffixes of the two disk artifact kinds.
@@ -45,7 +46,13 @@ CHECKPOINT_SUFFIX = ".ckpt"
 
 
 class CacheStats:
-    """Counters of one cache instance (exported by the ``stats`` op)."""
+    """Counters of one cache instance (exported by the ``stats`` op).
+
+    The ``disk_corrupt``/``disk_quarantined``/``disk_write_errors``
+    counters make storage trouble *visible*: before them a torn or
+    rotted disk entry looked exactly like a cache miss, so operators
+    saw hit rates degrade with no cause to point at.
+    """
 
     _FIELDS = (
         "lookups",
@@ -56,6 +63,9 @@ class CacheStats:
         "uncacheable",
         "evictions",
         "checkpoint_resumes",
+        "disk_corrupt",
+        "disk_quarantined",
+        "disk_write_errors",
     )
 
     def __init__(self) -> None:
@@ -87,16 +97,23 @@ class CacheStats:
 class ResultCache:
     """LRU of solve-result payloads, keyed by formula fingerprint."""
 
-    def __init__(self, capacity: int = 1024, disk_dir: Optional[str] = None):
+    def __init__(
+        self,
+        capacity: int = 1024,
+        disk_dir: Optional[str] = None,
+        recover: bool = True,
+    ):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.disk_dir = disk_dir
-        if disk_dir is not None:
-            os.makedirs(disk_dir, exist_ok=True)
         self.stats = CacheStats()
         self._lock = threading.Lock()
         self._entries: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+        if disk_dir is not None:
+            os.makedirs(disk_dir, exist_ok=True)
+            if recover:
+                self.recover()
 
     # ------------------------------------------------------------------
     # result tier
@@ -151,29 +168,94 @@ class ResultCache:
         return os.path.join(self.disk_dir, fingerprint + RESULT_SUFFIX)
 
     def _disk_lookup(self, fingerprint: str) -> Optional[Dict[str, object]]:
+        """Read one disk-tier entry; corruption is counted, not hidden.
+
+        The caller holds ``self._lock``.  A missing file is a plain
+        miss; a file that fails its CRC frame or does not parse is
+        *corruption* — counted in ``stats.disk_corrupt``, quarantined
+        to ``*.corrupt`` so the evidence survives, and then reported
+        as a miss (the solve re-runs and rewrites a good entry).
+        """
         if self.disk_dir is None:
             return None
+        path = self._result_path(fingerprint)
         try:
-            with open(self._result_path(fingerprint)) as handle:
-                payload = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+            data = durable.read_framed(path)
+            payload = json.loads(data.decode("utf-8"))
+        except FileNotFoundError:
+            return None
+        except (OSError, durable.CorruptRecordError, UnicodeDecodeError,
+                json.JSONDecodeError):
+            self.stats.disk_corrupt += 1
+            if durable.quarantine(path):
+                self.stats.disk_quarantined += 1
             return None
         if not isinstance(payload, dict) or payload.get("status") not in (SAT, UNSAT):
+            self.stats.disk_corrupt += 1
+            if durable.quarantine(path):
+                self.stats.disk_quarantined += 1
             return None
         return payload
 
     def _disk_store(self, fingerprint: str, payload: Dict[str, object]) -> None:
-        path = self._result_path(fingerprint)
-        tmp = f"{path}.tmp.{os.getpid()}"
+        data = json.dumps(payload).encode("utf-8")
         try:
-            with open(tmp, "w") as handle:
-                json.dump(payload, handle)
-            os.replace(tmp, path)
+            durable.write_framed(self._result_path(fingerprint), data,
+                                 fsync=False, fault_site="cache.write")
         except OSError:  # disk tier is best-effort; memory tier answered
+            self.stats.disk_write_errors += 1
+
+    # ------------------------------------------------------------------
+    # startup recovery
+    # ------------------------------------------------------------------
+    def recover(self) -> Dict[str, int]:
+        """Scan the disk tier once, quarantining anything unreadable.
+
+        Run at startup (and after a crash) so corruption surfaces
+        immediately in ``stats`` instead of as mystery misses spread
+        over the following hours.  Result entries must frame-verify
+        *and* parse to a definitive payload; checkpoint files must
+        frame-verify and parse as JSON objects (their semantic check
+        against a fingerprint happens at resume time).  Leftover
+        ``*.tmp.*`` files from killed writers are removed — their
+        renames never happened, so they were never part of the tier.
+        """
+        report = {"results_ok": 0, "checkpoints_ok": 0, "quarantined": 0,
+                  "tmp_removed": 0}
+        if self.disk_dir is None:
+            return report
+        for name in sorted(os.listdir(self.disk_dir)):
+            path = os.path.join(self.disk_dir, name)
+            if ".tmp." in name:
+                try:
+                    os.remove(path)
+                    report["tmp_removed"] += 1
+                except OSError:
+                    pass
+                continue
+            if not (name.endswith(RESULT_SUFFIX)
+                    or name.endswith(CHECKPOINT_SUFFIX)):
+                continue
             try:
-                os.remove(tmp)
-            except OSError:
-                pass
+                payload = json.loads(durable.read_framed(path).decode("utf-8"))
+                ok = isinstance(payload, dict) and (
+                    name.endswith(CHECKPOINT_SUFFIX)
+                    or payload.get("status") in (SAT, UNSAT)
+                )
+            except (OSError, durable.CorruptRecordError, UnicodeDecodeError,
+                    json.JSONDecodeError):
+                ok = False
+            if ok:
+                key = ("checkpoints_ok" if name.endswith(CHECKPOINT_SUFFIX)
+                       else "results_ok")
+                report[key] += 1
+            else:
+                with self._lock:
+                    self.stats.disk_corrupt += 1
+                    if durable.quarantine(path):
+                        self.stats.disk_quarantined += 1
+                        report["quarantined"] += 1
+        return report
 
     # ------------------------------------------------------------------
     # checkpoint tier

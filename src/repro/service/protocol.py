@@ -23,6 +23,10 @@ pipeline).  Operations:
     server, cache and pool counters.
 ``ping``
     liveness probe.
+``health``
+    liveness + readiness detail: worker aliveness, queue headroom,
+    circuit-breaker state (the TCP twin of HTTP ``/healthz`` and
+    ``/readyz``).
 ``shutdown``
     ask the server to drain and exit (same path as SIGTERM).
 
@@ -36,6 +40,12 @@ and ``cache`` — one of ``"miss"``, ``"hit"``, ``"disk"`` (served from
 the on-disk tier), ``"coalesced"`` (attached to an identical in-flight
 solve).  Failures are ``{"id": ..., "ok": false, "error": "..."}``;
 the connection stays usable.
+
+Backpressure: when the server's solve queue is full it answers
+``{"ok": false, "busy": true, "error": ...}`` *immediately* instead of
+queueing without bound.  ``busy`` responses are explicitly safe to
+retry after a backoff (the request was never dispatched); the client
+library does so automatically.
 """
 
 from __future__ import annotations
@@ -52,7 +62,7 @@ MAX_LINE_BYTES = 64 * 1024 * 1024
 #: Bumped on incompatible changes; the server reports it in ``stats``.
 PROTOCOL_VERSION = 1
 
-OPS = ("solve", "stats", "ping", "shutdown")
+OPS = ("solve", "stats", "ping", "health", "shutdown")
 
 
 class ProtocolError(ValueError):
@@ -139,4 +149,16 @@ def error_response(message: Dict[str, object], error: str) -> Dict[str, object]:
     response: Dict[str, object] = {"ok": False, "error": error}
     if isinstance(message, dict) and "id" in message:
         response["id"] = message["id"]
+    return response
+
+
+def busy_response(message: Dict[str, object], error: str) -> Dict[str, object]:
+    """An explicit backpressure rejection: retriable by contract.
+
+    ``busy: true`` tells the client the request was *not* dispatched
+    (no solve started, nothing to deduplicate against), so resubmitting
+    after a backoff is always safe.
+    """
+    response = error_response(message, error)
+    response["busy"] = True
     return response

@@ -9,8 +9,9 @@ One process runs three layers:
   executor, result logging;
 * :class:`ServiceServer` — the TCP listener speaking the
   newline-delimited JSON protocol, plus an optional minimal HTTP/1.1
-  front end (``POST /solve``, ``GET /stats``, ``GET /ping``) for
-  curl-style access;
+  front end (``POST /solve``, ``GET /stats``, ``GET /ping``,
+  ``GET /healthz``, ``GET /readyz``) for curl-style access and
+  orchestrator probes;
 * graceful shutdown — SIGTERM/SIGINT (or the ``shutdown`` op) stop the
   listeners, wait up to ``drain_timeout`` for in-flight solves, then
   drain the pool (busy workers past the budget are killed; their
@@ -35,6 +36,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional, Sequence
 
+from .. import faults
 from ..core.checkpoint import formula_fingerprint
 from ..experiments.parallel import ResultLog
 from ..formula.dqdimacs import DqdimacsError, parse_dqdimacs
@@ -45,6 +47,7 @@ from .protocol import (
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,
     ProtocolError,
+    busy_response,
     decode_message,
     encode_message,
     error_response,
@@ -72,6 +75,10 @@ class ServiceConfig:
         default_timeout: Optional[float] = 60.0,
         default_node_limit: Optional[int] = 2_000_000,
         drain_timeout: float = 10.0,
+        max_pending: Optional[int] = None,
+        heartbeat_interval: Optional[float] = 1.0,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 5.0,
     ):
         self.host = host
         self.port = port
@@ -83,6 +90,13 @@ class ServiceConfig:
         self.default_timeout = default_timeout
         self.default_node_limit = default_node_limit
         self.drain_timeout = drain_timeout
+        #: Bound on queued-plus-running solves before new requests get
+        #: an explicit BUSY rejection instead of unbounded queueing
+        #: (``None`` -> ``4 * workers``).
+        self.max_pending = 4 * workers if max_pending is None else max_pending
+        self.heartbeat_interval = heartbeat_interval
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
 
 
 class SolverService:
@@ -101,6 +115,10 @@ class SolverService:
         self.requests = 0
         self.coalesced = 0
         self.errors = 0
+        self.busy_rejections = 0
+        #: Solves dispatched to (or queued for) the pool right now;
+        #: bounded by ``config.max_pending`` — the backpressure valve.
+        self._pending = 0
         self._inflight: Dict[str, asyncio.Future] = {}
         # One executor slot per worker: a request beyond pool capacity
         # queues here instead of stacking threads.
@@ -126,6 +144,8 @@ class SolverService:
             return ok_response(message, pong=True, uptime=self.uptime())
         if op == "stats":
             return ok_response(message, **self.snapshot_stats())
+        if op == "health":
+            return ok_response(message, **self.health_snapshot())
         if op == "shutdown":
             # The transport layer sees the op and trips the stop event
             # after this acknowledgement is written.
@@ -155,8 +175,22 @@ class SolverService:
                     message, fingerprint, payload, "coalesced"
                 )
 
+        # Backpressure: a genuinely new solve consumes a pool slot (or
+        # a queue position).  Past the bound, reject *now* with an
+        # explicitly retriable BUSY instead of queueing without limit —
+        # overload must degrade into latency the client controls, not
+        # into memory growth and deadline blowouts it cannot see.
+        if self._pending >= self.config.max_pending:
+            self.busy_rejections += 1
+            return busy_response(
+                message,
+                f"server busy: {self._pending} solves pending "
+                f"(max_pending={self.config.max_pending}); retry with backoff",
+            )
+
         future = asyncio.get_running_loop().create_future()
         self._inflight[fingerprint] = future
+        self._pending += 1
         try:
             payload = await self._dispatch(message, fingerprint)
             if not future.done():
@@ -167,6 +201,7 @@ class SolverService:
                 future.exception()  # consumed: avoid the never-retrieved warning
             raise
         finally:
+            self._pending -= 1
             self._inflight.pop(fingerprint, None)
         return self._result_response(message, fingerprint, payload, "miss")
 
@@ -246,9 +281,35 @@ class SolverService:
             "coalesced": self.coalesced,
             "request_errors": self.errors,
             "inflight": len(self._inflight),
+            "pending": self._pending,
+            "max_pending": self.config.max_pending,
+            "busy_rejections": self.busy_rejections,
             "cache": self.cache.stats.as_dict(),
             "cache_entries": len(self.cache),
             "pool": self.pool.stats(),
+        }
+
+    def health_snapshot(self) -> Dict[str, object]:
+        """Liveness + readiness in one view.
+
+        ``live`` is "the process is serving" (always true when this
+        code runs); ``ready`` is "a new solve would be accepted and has
+        a worker to land on": at least one worker process alive and
+        queue headroom below the backpressure bound.
+        """
+        pool_stats = self.pool.stats()
+        alive = int(pool_stats.get("alive", 0))
+        ready = alive > 0 and self._pending < self.config.max_pending
+        return {
+            "live": True,
+            "ready": ready,
+            "uptime": self.uptime(),
+            "workers_alive": alive,
+            "workers": self.pool.size,
+            "pending": self._pending,
+            "max_pending": self.config.max_pending,
+            "busy_rejections": self.busy_rejections,
+            "breaker": self.pool.breaker_state(),
         }
 
     async def drain(self, timeout: float) -> int:
@@ -284,6 +345,7 @@ class ServiceServer:
         self._stop: Optional[asyncio.Event] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._http_server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: "set[asyncio.Task]" = set()
 
     # ------------------------------------------------------------------
     # transports
@@ -291,6 +353,10 @@ class ServiceServer:
     async def _handle_tcp(self, reader: asyncio.StreamReader,
                           writer: asyncio.StreamWriter) -> None:
         """One JSON-lines connection; requests answered in order."""
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
         try:
             while True:
                 try:
@@ -312,23 +378,43 @@ class ServiceServer:
                     self.service.errors += 1
                     message, response = {}, error_response(
                         {}, f"internal error: {exc!r}")
-                writer.write(encode_message(response))
+                encoded = encode_message(response)
+                fault = faults.fire("server.send")
+                if fault is not None and fault.kind == "slow":
+                    await asyncio.sleep(fault.seconds)
+                elif fault is not None and fault.kind == "drop":
+                    # Half a frame, then a hard abort: the client sees a
+                    # line with no terminating newline — the mid-frame
+                    # EOF the retry/idempotency machinery must absorb.
+                    writer.write(encoded[: max(1, len(encoded) // 2)])
+                    await writer.drain()
+                    writer.transport.abort()
+                    return
+                writer.write(encoded)
                 await writer.drain()
                 if message.get("op") == "shutdown":
                     self.request_stop()
                     break
         except (ConnectionResetError, BrokenPipeError):
             pass
+        except asyncio.CancelledError:
+            # Shutdown cancelled us between requests: completing
+            # normally (writer closed below) keeps the teardown quiet —
+            # a task that *stays* cancelled trips asyncio's noisy
+            # connection_made callback on 3.11.
+            pass
         finally:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.CancelledError):  # pragma: no cover
                 pass
 
     async def _handle_http(self, reader: asyncio.StreamReader,
                            writer: asyncio.StreamWriter) -> None:
-        """Minimal HTTP/1.1: POST /solve, GET /stats, GET /ping."""
+        """Minimal HTTP/1.1: POST /solve, GET /stats, GET /ping,
+        GET /healthz (liveness), GET /readyz (readiness)."""
         try:
             request_line = (await reader.readline()).decode("latin-1").strip()
             parts = request_line.split()
@@ -357,6 +443,16 @@ class ServiceServer:
             if method == "GET" and path == "/ping":
                 return await self._http_reply(
                     writer, 200, ok_response({}, pong=True))
+            if method == "GET" and path == "/healthz":
+                # Liveness: if this handler runs, the process serves.
+                return await self._http_reply(
+                    writer, 200,
+                    ok_response({}, **self.service.health_snapshot()))
+            if method == "GET" and path == "/readyz":
+                health = self.service.health_snapshot()
+                return await self._http_reply(
+                    writer, 200 if health["ready"] else 503,
+                    ok_response({}, **health))
             if method == "POST" and path == "/solve":
                 try:
                     message = decode_message(body)
@@ -365,8 +461,9 @@ class ServiceServer:
                                                   {"error": str(exc)})
                 message["op"] = "solve"
                 response = await self.service.handle(message)
-                return await self._http_reply(
-                    writer, 200 if response.get("ok") else 400, response)
+                code = 200 if response.get("ok") else (
+                    503 if response.get("busy") else 400)
+                return await self._http_reply(writer, code, response)
             await self._http_reply(writer, 404, {"error": f"no route {path}"})
         except (asyncio.IncompleteReadError, ConnectionResetError,
                 BrokenPipeError):
@@ -375,14 +472,16 @@ class ServiceServer:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.CancelledError):  # pragma: no cover
                 pass
 
     async def _http_reply(self, writer: asyncio.StreamWriter, code: int,
                           payload: Dict[str, object]) -> None:
         body = json.dumps(payload).encode("utf-8")
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
-                  413: "Payload Too Large"}.get(code, "Error")
+                  413: "Payload Too Large",
+                  503: "Service Unavailable"}.get(code, "Error")
         writer.write(
             f"HTTP/1.1 {code} {reason}\r\n"
             f"Content-Type: application/json\r\n"
@@ -441,6 +540,12 @@ class ServiceServer:
                 await server.wait_closed()
         drain = self.config.drain_timeout
         still_running = await self.service.drain(drain)
+        # Idle keep-alive connections would otherwise linger until the
+        # event loop is torn down and be killed mid-readline there.
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
         pool_summary = self.pool.shutdown(drain_timeout=1.0 if still_running
                                           else drain)
         self.service.close()
@@ -497,6 +602,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-request AIG node budget cap (default 2e6)")
     parser.add_argument("--drain-timeout", type=float, default=10.0,
                         help="seconds granted to in-flight solves on shutdown")
+    parser.add_argument("--max-pending", type=int, default=None,
+                        help="solve-queue bound before BUSY rejections "
+                             "(default 4 x workers)")
+    parser.add_argument("--heartbeat-interval", type=float, default=1.0,
+                        help="worker heartbeat period in seconds; "
+                             "0 disables supervision (default 1.0)")
+    parser.add_argument("--breaker-threshold", type=int, default=5,
+                        help="consecutive worker failures per family before "
+                             "the circuit opens (default 5)")
+    parser.add_argument("--breaker-cooldown", type=float, default=5.0,
+                        help="seconds an open circuit rejects before a "
+                             "half-open probe (default 5.0)")
     return parser
 
 
@@ -513,9 +630,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default_timeout=args.timeout,
         default_node_limit=args.node_limit,
         drain_timeout=args.drain_timeout,
+        max_pending=args.max_pending,
+        heartbeat_interval=args.heartbeat_interval or None,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
     )
     # Fork the workers before asyncio spins up any threads.
-    pool = WorkerPool(size=config.workers)
+    pool = WorkerPool(
+        size=config.workers,
+        fault_plan=faults.active(),
+        heartbeat_interval=config.heartbeat_interval,
+        breaker_threshold=config.breaker_threshold,
+        breaker_cooldown=config.breaker_cooldown,
+    )
     server = ServiceServer(config, pool)
     summary = server.run()
     print(f"c hqs-serve drained: {json.dumps(summary, sort_keys=True)}",

@@ -267,6 +267,65 @@ class TestInterruptResume:
         assert result.status in (SAT, UNSAT)
         assert not os.path.exists(path)
 
+    def test_truncated_checkpoint_quarantined_fresh_solve(self, tmp_path):
+        # A torn checkpoint save (crash mid-write) must cost a restart,
+        # never a crash and never the answer: the solver diagnoses it,
+        # quarantines the evidence and solves from scratch.
+        target = make_bitcell(4, 1, buggy=True, seed=62)
+        fingerprint = formula_fingerprint(target.formula)
+        path = str(tmp_path / "torn.ckpt")
+        SolverCheckpoint.capture(
+            fingerprint=fingerprint, state=_small_state(),
+            elimination_pool=[], eliminations={}, stats={},
+            elapsed=0.0, conflicts=0,
+        ).save(path)
+        blob = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])
+
+        solver = HqsSolver()
+        result = solver.solve(
+            target.formula.copy(), Limits(time_limit=120), checkpoint=path
+        )
+        assert result.status == (SAT if target.expected else UNSAT)
+        assert result.stats.get("checkpoint_corrupt") == 1
+        assert "checkpoint_resumed" not in result.stats
+        assert os.path.exists(path + ".corrupt")  # evidence survives
+
+    def test_bitflipped_checkpoint_quarantined_fresh_solve(self, tmp_path):
+        target = make_bitcell(4, 1, buggy=True, seed=62)
+        fingerprint = formula_fingerprint(target.formula)
+        path = str(tmp_path / "rot.ckpt")
+        SolverCheckpoint.capture(
+            fingerprint=fingerprint, state=_small_state(),
+            elimination_pool=[], eliminations={}, stats={},
+            elapsed=0.0, conflicts=0,
+        ).save(path)
+        blob = bytearray(open(path, "rb").read())
+        blob[len(blob) // 2] ^= 0xFF  # one rotted byte, same length
+        with open(path, "wb") as handle:
+            handle.write(bytes(blob))
+
+        result = HqsSolver().solve(
+            target.formula.copy(), Limits(time_limit=120), checkpoint=path
+        )
+        assert result.status == (SAT if target.expected else UNSAT)
+        assert result.stats.get("checkpoint_corrupt") == 1
+        assert os.path.exists(path + ".corrupt")
+
+    def test_load_or_quarantine_diagnoses(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        path.write_bytes(b"\x00\x01 definitely not a checkpoint")
+        loaded, diagnosis = SolverCheckpoint.load_or_quarantine(str(path))
+        assert loaded is None
+        assert diagnosis is not None and "quarantined" in diagnosis
+        assert not path.exists()
+
+        missing, diagnosis = SolverCheckpoint.load_or_quarantine(
+            str(tmp_path / "never.ckpt")
+        )
+        assert missing is None and diagnosis is None  # absent != corrupt
+
     def test_mismatched_checkpoint_falls_back_to_fresh(self, tmp_path):
         other = make_bitcell(4, 1, buggy=False, seed=9).formula
         target = make_bitcell(4, 1, buggy=True, seed=62)

@@ -1,0 +1,249 @@
+"""Unit tests for the fault-injection framework and the CRC framing.
+
+:mod:`repro.faults` supplies deterministic, seeded fault schedules;
+:mod:`repro.durable` supplies the CRC-32 framing those schedules tear
+at.  Both are pure-python and testable without spawning any workers —
+the end-to-end behaviour under faults lives in ``test_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import durable, faults
+from repro.faults import Fault, FaultPlan, FaultSpecError
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    """Never leak an installed plan (or a cached env resolution)."""
+    faults.clear()
+    yield
+    faults.clear()
+
+
+# ----------------------------------------------------------------------
+# spec grammar
+# ----------------------------------------------------------------------
+
+class TestSpecGrammar:
+    def test_parse_round_trips(self):
+        spec = ("pool.solve:crash@2;cache.write:torn@1x3;"
+                "server.send:drop@5,seconds=0.1")
+        plan = FaultPlan.parse(spec)
+        assert len(plan) == 3
+        assert plan.spec() == spec
+        assert plan.faults[1].count == 3
+        assert plan.faults[2].args == {"seconds": 0.1}
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(FaultSpecError, match="unknown fault site"):
+            FaultPlan.parse("warp.core:crash@1")
+
+    def test_kind_must_fit_site(self):
+        # torn writes make no sense for a worker process.
+        with pytest.raises(FaultSpecError, match="not injectable"):
+            FaultPlan.parse("pool.solve:torn@1")
+
+    def test_indices_are_one_based(self):
+        with pytest.raises(FaultSpecError, match="1-based"):
+            Fault("pool.solve", "crash", nth=0)
+
+    def test_malformed_specs_rejected(self):
+        for bad in ("pool.solve", "pool.solve:crash", "pool.solve:@1",
+                    "pool.solve:crash@x", "pool.solve:crash@1,seconds"):
+            with pytest.raises(FaultSpecError):
+                FaultPlan.parse(bad)
+
+    def test_empty_segments_ignored(self):
+        assert len(FaultPlan.parse("; pool.solve:crash@1 ;;")) == 1
+
+
+# ----------------------------------------------------------------------
+# firing
+# ----------------------------------------------------------------------
+
+class TestFiring:
+    def test_nth_event_fires_others_dont(self):
+        plan = FaultPlan.parse("cache.write:torn@2")
+        assert plan.fire("cache.write") is None
+        fault = plan.fire("cache.write")
+        assert fault is not None and fault.kind == "torn"
+        assert plan.fire("cache.write") is None
+        assert plan.fired == [("cache.write", "torn", 2)]
+
+    def test_count_covers_consecutive_events(self):
+        plan = FaultPlan.parse("log.append:ioerror@2x2")
+        hits = [plan.fire("log.append") is not None for _ in range(4)]
+        assert hits == [False, True, True, False]
+
+    def test_sites_count_independently(self):
+        plan = FaultPlan.parse("cache.write:torn@1;log.append:torn@2")
+        assert plan.fire("cache.write") is not None
+        assert plan.fire("log.append") is None
+        assert plan.fire("log.append") is not None
+
+    def test_advance_skips_past_events(self):
+        # A respawned worker is handed its slot's prior event count so
+        # the schedule continues instead of replaying.
+        plan = FaultPlan.parse("pool.solve:crash@2")
+        plan.advance("pool.solve", 2)
+        assert plan.fire("pool.solve") is None  # event 3: past the crash
+        plan2 = FaultPlan.parse("pool.solve:crash@2")
+        plan2.advance("pool.solve", 1)
+        assert plan2.fire("pool.solve") is not None  # event 2: the crash
+
+    def test_fired_kinds_summary(self):
+        plan = FaultPlan.parse("cache.write:torn@1x2;log.append:ioerror@1")
+        plan.fire("cache.write")
+        plan.fire("cache.write")
+        plan.fire("log.append")
+        assert plan.fired_kinds() == {"torn": 2, "ioerror": 1}
+
+
+class TestRandomPlans:
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.random(seed=7, events=20, horizon=50)
+        b = FaultPlan.random(seed=7, events=20, horizon=50)
+        assert a.spec() == b.spec()
+        assert FaultPlan.random(seed=8, events=20, horizon=50).spec() != a.spec()
+
+    def test_site_and_kind_filters(self):
+        plan = FaultPlan.random(seed=3, events=10, horizon=10,
+                                sites=["cache.write"], kinds=["torn"])
+        assert all(f.site == "cache.write" and f.kind == "torn"
+                   for f in plan.faults)
+
+    def test_impossible_filter_combination(self):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.random(seed=1, events=1, horizon=1,
+                             sites=["cache.write"], kinds=["crash"])
+
+
+# ----------------------------------------------------------------------
+# process-wide installation
+# ----------------------------------------------------------------------
+
+class TestInstallation:
+    def test_fire_is_noop_without_plan(self, monkeypatch):
+        monkeypatch.delenv(faults.ENV_VAR, raising=False)
+        faults.clear()
+        assert faults.fire("pool.solve") is None
+        assert faults.active() is None
+
+    def test_env_var_resolved_lazily(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "cache.write:torn@1")
+        faults.clear()
+        assert faults.fire("cache.write") is not None
+        # Resolution is cached: changing the env later has no effect.
+        monkeypatch.setenv(faults.ENV_VAR, "cache.write:torn@1x99")
+        assert faults.fire("cache.write") is None
+
+    def test_install_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "cache.write:torn@1")
+        faults.install(FaultPlan.parse("log.append:ioerror@1"))
+        assert faults.fire("cache.write") is None
+        assert faults.fire("log.append") is not None
+
+    def test_plan_pickles_without_counters(self):
+        plan = FaultPlan.parse("pool.solve:crash@2")
+        plan.fire("pool.solve")
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.spec() == plan.spec()
+        assert clone.events("pool.solve") == 0  # counters are per-process
+        assert clone.fired == []
+
+
+# ----------------------------------------------------------------------
+# durable whole-file framing
+# ----------------------------------------------------------------------
+
+class TestFileFraming:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "blob")
+        durable.write_framed(path, b'{"status": "SAT"}')
+        assert durable.read_framed(path) == b'{"status": "SAT"}'
+
+    def test_legacy_unframed_passthrough(self, tmp_path):
+        path = tmp_path / "legacy"
+        path.write_bytes(b'{"status": "SAT"}')
+        assert durable.read_framed(str(path)) == b'{"status": "SAT"}'
+
+    def test_truncation_detected(self, tmp_path):
+        path = tmp_path / "torn"
+        durable.write_framed(str(path), b"x" * 100)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) - 30])
+        with pytest.raises(durable.CorruptRecordError, match="torn write"):
+            durable.read_framed(str(path))
+
+    def test_bit_flip_detected(self, tmp_path):
+        path = tmp_path / "rot"
+        durable.write_framed(str(path), b'{"status": "UNSAT"}')
+        blob = bytearray(path.read_bytes())
+        blob[-3] ^= 0x20  # "UNSAT" -> "UNSAt": same length, wrong CRC
+        path.write_bytes(bytes(blob))
+        with pytest.raises(durable.CorruptRecordError, match="checksum"):
+            durable.read_framed(str(path))
+
+    def test_header_garbage_detected(self, tmp_path):
+        path = tmp_path / "header"
+        path.write_bytes(durable.FILE_MAGIC + b"not numbers\npayload")
+        with pytest.raises(durable.CorruptRecordError, match="header"):
+            durable.read_framed(str(path))
+
+    def test_torn_fault_injection(self, tmp_path):
+        faults.install(FaultPlan.parse("cache.write:torn@1"))
+        path = str(tmp_path / "entry.json")
+        durable.write_framed(path, b"z" * 200, fault_site="cache.write")
+        # The write "succeeded" but left a prefix — the frame catches it.
+        with pytest.raises(durable.CorruptRecordError):
+            durable.read_framed(path)
+
+    def test_ioerror_fault_injection(self, tmp_path):
+        faults.install(FaultPlan.parse("checkpoint.save:ioerror@1"))
+        with pytest.raises(OSError, match="injected"):
+            durable.write_framed(str(tmp_path / "x.ckpt"), b"payload",
+                                 fault_site="checkpoint.save")
+        assert list(tmp_path.iterdir()) == []  # no tmp file left behind
+
+
+# ----------------------------------------------------------------------
+# durable JSONL line framing
+# ----------------------------------------------------------------------
+
+class TestLineFraming:
+    def test_round_trip(self):
+        line = durable.frame_line('{"a": 1}')
+        assert line.endswith("\n")
+        assert durable.unframe_line(line) == ('{"a": 1}', "ok")
+
+    def test_legacy_line(self):
+        assert durable.unframe_line('{"a": 1}\n') == ('{"a": 1}', "legacy")
+
+    def test_torn_suffix_is_corrupt(self):
+        line = durable.frame_line('{"a": 1}')
+        assert durable.unframe_line(line[:-3])[1] == "corrupt"
+
+    def test_payload_edit_is_corrupt(self):
+        line = durable.frame_line('{"a": 1}')
+        assert durable.unframe_line(line.replace('"a"', '"b"'))[1] == "corrupt"
+
+    def test_multiline_payload_rejected(self):
+        with pytest.raises(ValueError):
+            durable.frame_line("two\nlines")
+
+
+class TestQuarantine:
+    def test_renames_and_reports(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_bytes(b"garbage")
+        target = durable.quarantine(str(path))
+        assert target == str(path) + durable.QUARANTINE_SUFFIX
+        assert not path.exists()
+        assert (tmp_path / ("bad.json" + durable.QUARANTINE_SUFFIX)).exists()
+
+    def test_missing_file_returns_none(self, tmp_path):
+        assert durable.quarantine(str(tmp_path / "never")) is None

@@ -1,0 +1,155 @@
+"""Tests for the shared process-supervision primitives.
+
+:func:`repro.proc.reap` sits between the pool supervisor thread, the
+hard-kill request path and the parallel runner — all of which can race
+for the same child.  The loser of such a race must find "the process is
+already gone" unremarkable.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+
+from repro.proc import close_foreign_sockets, default_grace, mp_context, reap
+
+
+def _sleep_forever():  # pragma: no cover - killed by the test
+    import time
+    time.sleep(3600)
+
+
+def _fd_hygiene_probe(conn, sock_fd: int, pipe_rd: int) -> None:
+    closed = close_foreign_sockets(keep=(conn.fileno(),))
+
+    def alive(fd: int) -> bool:
+        try:
+            os.fstat(fd)
+            return True
+        except OSError:
+            return False
+
+    conn.send({
+        "closed": closed,
+        "sock_alive": alive(sock_fd),
+        "pipe_alive": alive(pipe_rd),
+        "conn_alive": alive(conn.fileno()),
+    })
+
+
+def _fd_keep_probe(conn, kept_fd: int, other_fd: int) -> None:
+    close_foreign_sockets(keep=(conn.fileno(), kept_fd))
+
+    def alive(fd: int) -> bool:
+        try:
+            os.fstat(fd)
+            return True
+        except OSError:
+            return False
+
+    conn.send({"kept_alive": alive(kept_fd), "other_alive": alive(other_fd)})
+
+
+class TestReap:
+    def test_reap_live_child(self):
+        ctx = mp_context()
+        parent, child = ctx.Pipe()
+        process = ctx.Process(target=_sleep_forever, daemon=True)
+        process.start()
+        child.close()
+        process.terminate()
+        reap(process, parent)
+        assert not process.is_alive()
+
+    def test_reap_already_reaped_child(self):
+        # The racing-reapers case: by the time the second reaper runs,
+        # the child is waited on and the process object may be closed.
+        ctx = mp_context()
+        process = ctx.Process(target=lambda: None, daemon=True)
+        process.start()
+        process.join()
+        process.close()  # join()/is_alive() on a closed handle raise
+        reap(process)  # must absorb, not raise
+
+    def test_reap_twice_is_idempotent(self):
+        ctx = mp_context()
+        parent, child = ctx.Pipe()
+        process = ctx.Process(target=lambda: None, daemon=True)
+        process.start()
+        child.close()
+        reap(process, parent)
+        reap(process, parent)  # second reap: conn already closed, joined
+
+    def test_reap_externally_waited_child(self):
+        # A child another path already collected via os.waitpid: the
+        # kernel then answers ECHILD, which reap must treat as done.
+        ctx = mp_context()
+        process = ctx.Process(target=lambda: None, daemon=True)
+        process.start()
+        os.waitpid(process.pid, 0)
+        reap(process)
+        # multiprocessing may or may not have noticed; reap must not
+        # have raised either way.
+
+
+class TestFdHygiene:
+    def test_forked_child_drops_foreign_sockets_keeps_pipes(self):
+        # The bug this guards: a worker forked while a server is
+        # serving inherits dups of live connection fds; as long as it
+        # holds one, closing the connection server-side sends no FIN
+        # and the client waits out its full timeout instead of seeing
+        # EOF.  Sockets must go; pipes (mp plumbing) must survive.
+        sock_a, sock_b = socket.socketpair()
+        pipe_rd, pipe_wr = os.pipe()
+        ctx = mp_context()
+        parent, child = ctx.Pipe(duplex=True)
+        try:
+            process = ctx.Process(
+                target=_fd_hygiene_probe,
+                args=(child, sock_a.fileno(), pipe_rd),
+                daemon=True,
+            )
+            process.start()
+            child.close()
+            report = parent.recv()
+            process.join(timeout=10.0)
+            assert report["closed"] >= 2  # the socketpair at least
+            assert not report["sock_alive"]
+            assert report["pipe_alive"]
+            assert report["conn_alive"]  # its own command pipe survives
+        finally:
+            sock_a.close()
+            sock_b.close()
+            os.close(pipe_rd)
+            os.close(pipe_wr)
+            parent.close()
+
+    def test_keep_protects_named_fds(self):
+        sock_a, sock_b = socket.socketpair()
+        ctx = mp_context()
+        parent, child = ctx.Pipe(duplex=True)
+        try:
+            process = ctx.Process(
+                target=_fd_keep_probe,
+                args=(child, sock_a.fileno(), sock_b.fileno()),
+                daemon=True,
+            )
+            process.start()
+            child.close()
+            report = parent.recv()
+            process.join(timeout=10.0)
+            assert report["kept_alive"]       # named in keep=: untouched
+            assert not report["other_alive"]  # its twin: closed
+        finally:
+            sock_a.close()
+            sock_b.close()
+            parent.close()
+
+
+class TestGrace:
+    def test_unlimited_budget_gets_fixed_grace(self):
+        assert default_grace(None) == 5.0
+
+    def test_grace_scales_with_budget(self):
+        assert default_grace(100.0) == 25.0
+        assert default_grace(0.1) == 1.0  # floor

@@ -17,6 +17,7 @@ import time
 
 import pytest
 
+from repro import durable
 from repro.formula.dqdimacs import parse_dqdimacs, write_dqdimacs
 from repro.pec.families import make_adder, make_comp
 from repro.core.checkpoint import formula_fingerprint
@@ -360,7 +361,8 @@ class TestServerEndToEnd:
         assert summary["undrained"] == 0
         assert summary["pool"]["killed"] == 0
         with open(config.log_path) as handle:
-            entries = [json.loads(line) for line in handle if line.strip()]
+            entries = [json.loads(durable.unframe_line(line)[0])
+                       for line in handle if line.strip()]
         assert len(entries) == 1
         assert entries[0]["instance"] == fingerprint
         assert entries[0]["status"] == "UNSAT"
