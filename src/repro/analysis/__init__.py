@@ -1,0 +1,31 @@
+"""``repro.analysis`` — the ``hqs-lint`` static invariant analyzer.
+
+An independent AST pass over the repo's own source enforcing the
+cross-cutting conventions the solver stack depends on: ResourceGuard
+threading (RPR001), monotonic clocks (RPR002), seeded randomness
+(RPR003), durable CRC-framed writes (RPR004), fork/async discipline
+(RPR005), exception hygiene (RPR006) and bidirectional fault-site
+coverage (RPR007).  See ``docs/lint.md`` for the catalog.
+"""
+
+from .baseline import load_baseline, split_by_baseline, write_baseline
+from .config import LintConfig, load_config
+from .engine import AnalysisError, analyze_paths, analyze_sources, load_sources
+from .framework import Finding, ProjectRule, Rule, SourceFile, all_rules
+
+__all__ = [
+    "AnalysisError",
+    "Finding",
+    "LintConfig",
+    "ProjectRule",
+    "Rule",
+    "SourceFile",
+    "all_rules",
+    "analyze_paths",
+    "analyze_sources",
+    "load_baseline",
+    "load_config",
+    "load_sources",
+    "split_by_baseline",
+    "write_baseline",
+]

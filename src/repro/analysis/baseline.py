@@ -1,0 +1,69 @@
+"""Committed-baseline handling for grandfathered findings.
+
+The baseline is a JSON file of finding identities ``(code, path,
+message)`` — no line numbers, so edits elsewhere in a file do not churn
+it.  Enforcement is bidirectional:
+
+* a finding *not* in the baseline is new and fails the run;
+* a baseline entry no findings matched is *stale* and also fails the
+  run, so fixed violations must be removed from the file (via
+  ``hqs-lint --update-baseline``) rather than lingering as dead grants.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Set, Tuple
+
+from .framework import Finding
+
+BASELINE_VERSION = 1
+
+Key = Tuple[str, str, str]
+
+
+def load_baseline(path: Path) -> Set[Key]:
+    """Load baseline keys; a missing file is an empty baseline."""
+    if not path.is_file():
+        return set()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {data.get('version')!r}"
+        )
+    keys: Set[Key] = set()
+    for entry in data.get("entries", []):
+        keys.add((entry["code"], entry["path"], entry["message"]))
+    return keys
+
+
+def write_baseline(path: Path, findings: List[Finding]) -> None:
+    entries = [
+        {"code": code, "path": rel, "message": message}
+        for code, rel, message in sorted({f.key() for f in findings})
+    ]
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def split_by_baseline(
+    findings: List[Finding], baseline: Set[Key]
+) -> Tuple[List[Finding], List[Finding], List[Key]]:
+    """Partition into (new, grandfathered, stale-baseline-keys)."""
+    new: List[Finding] = []
+    grandfathered: List[Finding] = []
+    used: Set[Key] = set()
+    for finding in findings:
+        key = finding.key()
+        if key in baseline:
+            grandfathered.append(finding)
+            used.add(key)
+        else:
+            new.append(finding)
+    stale = sorted(baseline - used)
+    return new, grandfathered, stale
+
+
+def stale_to_dicts(stale: List[Key]) -> List[Dict[str, str]]:
+    return [{"code": c, "path": p, "message": m} for c, p, m in stale]

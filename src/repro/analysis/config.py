@@ -1,0 +1,263 @@
+"""``[tool.hqs-lint]`` configuration loading.
+
+Python 3.11+ parses ``pyproject.toml`` with :mod:`tomllib`.  On the
+3.9/3.10 CI legs a small fallback parser extracts just the
+``tool.hqs-lint*`` tables — it understands the TOML subset this repo's
+pyproject actually uses (string/bool/int scalars and possibly-multiline
+string arrays) and silently skips anything else, which is safe because
+only ``tool.hqs-lint`` keys are consumed.
+"""
+
+from __future__ import annotations
+
+import copy
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+try:  # Python 3.11+
+    import tomllib
+except ImportError:  # pragma: no cover - depends on interpreter version
+    tomllib = None
+
+#: Built-in defaults; pyproject values are merged over these.
+DEFAULTS: Dict[str, Any] = {
+    "paths": ["src"],
+    "baseline": "lint-baseline.json",
+    "select": [],
+    "ignore": [],
+    "rpr001": {
+        "packages": ["repro.core", "repro.aig", "repro.sat", "repro.qbf"],
+        "allow": [],
+    },
+    "rpr002": {"allow-modules": []},
+    "rpr003": {"allow-modules": []},
+    "rpr004": {
+        "packages": ["repro.service", "repro.experiments"],
+        "allow-modules": [],
+    },
+    "rpr005": {
+        "async-modules": ["repro.service.server"],
+        "known-blocking": [],
+        "fork-modules": ["repro.service.pool", "repro.experiments.parallel", "repro.proc"],
+    },
+    "rpr006": {},
+    "rpr007": {"sites-module": "repro.faults"},
+}
+
+
+class LintConfig:
+    def __init__(self, raw: Optional[Dict[str, Any]] = None):
+        # Deep copy: DEFAULTS holds nested lists (and a plain string)
+        # that per-instance merges must never alias or mangle.
+        self.raw: Dict[str, Any] = copy.deepcopy(DEFAULTS)
+        for key, value in (raw or {}).items():
+            if isinstance(value, dict) and isinstance(self.raw.get(key), dict):
+                self.raw[key].update(value)
+            else:
+                self.raw[key] = value
+
+    @property
+    def paths(self) -> List[str]:
+        return list(self.raw.get("paths", []))
+
+    @property
+    def baseline(self) -> str:
+        return str(self.raw.get("baseline", "lint-baseline.json"))
+
+    @property
+    def select(self) -> List[str]:
+        return [c.upper() for c in self.raw.get("select", [])]
+
+    @property
+    def ignore(self) -> List[str]:
+        return [c.upper() for c in self.raw.get("ignore", [])]
+
+    def rule_options(self, code: str) -> Dict[str, Any]:
+        options = self.raw.get(code.lower(), {})
+        return options if isinstance(options, dict) else {}
+
+    def enabled(self, code: str) -> bool:
+        code = code.upper()
+        if self.select and code not in self.select:
+            return False
+        return code not in self.ignore
+
+
+def load_config(pyproject: Optional[Path] = None) -> LintConfig:
+    """Load ``[tool.hqs-lint]`` from ``pyproject``, defaulting everything
+    when the file or table is absent."""
+    if pyproject is None:
+        pyproject = Path("pyproject.toml")
+    if not pyproject.is_file():
+        return LintConfig()
+    text = pyproject.read_text(encoding="utf-8")
+    if tomllib is not None:
+        data = tomllib.loads(text)
+        tool = data.get("tool", {}).get("hqs-lint", {})
+    else:
+        tool = _parse_hqs_lint_subset(text)
+    return LintConfig(_flatten(tool))
+
+
+def _flatten(tool: Dict[str, Any]) -> Dict[str, Any]:
+    """Normalize ``[tool.hqs-lint.rprNNN]`` sub-tables onto lowercase keys."""
+    out: Dict[str, Any] = {}
+    for key, value in tool.items():
+        out[key.lower() if isinstance(value, dict) else key] = value
+    return out
+
+
+# ----------------------------------------------------------------------
+# minimal TOML-subset fallback (pre-3.11 interpreters)
+# ----------------------------------------------------------------------
+
+_SECTION_RE = re.compile(r"^\[([^\]]+)\]\s*$")
+_KEY_RE = re.compile(r"^([A-Za-z0-9_\-\.\"']+)\s*=\s*(.*)$")
+
+
+def _parse_hqs_lint_subset(text: str) -> Dict[str, Any]:
+    result: Dict[str, Any] = {}
+    section: Optional[List[str]] = None
+    pending_key: Optional[str] = None
+    pending_value = ""
+
+    def target_table() -> Optional[Dict[str, Any]]:
+        if section is None or section[:2] != ["tool", "hqs-lint"]:
+            return None
+        table = result
+        for part in section[2:]:
+            table = table.setdefault(part, {})
+        return table
+
+    def finish_pending() -> None:
+        nonlocal pending_key, pending_value
+        if pending_key is None:
+            return
+        table = target_table()
+        if table is not None:
+            value = _parse_value(pending_value)
+            if value is not _UNPARSED:
+                table[pending_key] = value
+        pending_key, pending_value = None, ""
+
+    for raw_line in text.split("\n"):
+        line = _strip_comment(raw_line)
+        if pending_key is not None:
+            pending_value += " " + line.strip()
+            if _array_closed(pending_value):
+                finish_pending()
+            continue
+        stripped = line.strip()
+        if not stripped:
+            continue
+        section_match = _SECTION_RE.match(stripped)
+        if section_match:
+            section = [p.strip().strip("\"'") for p in section_match.group(1).split(".")]
+            continue
+        key_match = _KEY_RE.match(stripped)
+        if not key_match:
+            continue
+        key = key_match.group(1).strip().strip("\"'")
+        value_text = key_match.group(2).strip()
+        if value_text.startswith("[") and not _array_closed(value_text):
+            pending_key, pending_value = key, value_text
+            continue
+        table = target_table()
+        if table is not None:
+            value = _parse_value(value_text)
+            if value is not _UNPARSED:
+                table[key] = value
+    finish_pending()
+    return result
+
+
+_UNPARSED = object()
+
+
+def _strip_comment(line: str) -> str:
+    out: List[str] = []
+    in_string: Optional[str] = None
+    for ch in line:
+        if in_string:
+            if ch == in_string:
+                in_string = None
+        elif ch in ("'", '"'):
+            in_string = ch
+        elif ch == "#":
+            break
+        out.append(ch)
+    return "".join(out)
+
+
+def _array_closed(text: str) -> bool:
+    depth = 0
+    in_string: Optional[str] = None
+    for ch in text:
+        if in_string:
+            if ch == in_string:
+                in_string = None
+        elif ch in ("'", '"'):
+            in_string = ch
+        elif ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+    return depth <= 0
+
+
+def _parse_value(text: str) -> Any:
+    text = text.strip()
+    if not text:
+        return _UNPARSED
+    if text.startswith("[") and text.endswith("]"):
+        inner = text[1:-1]
+        items = [item for item in _split_array(inner) if item]
+        values = []
+        for item in items:
+            value = _parse_value(item)
+            if value is _UNPARSED:
+                return _UNPARSED
+            values.append(value)
+        return values
+    if (text.startswith('"') and text.endswith('"') and len(text) >= 2) or (
+        text.startswith("'") and text.endswith("'") and len(text) >= 2
+    ):
+        return text[1:-1]
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        return _UNPARSED
+
+
+def _split_array(inner: str) -> List[str]:
+    parts: List[str] = []
+    buf: List[str] = []
+    depth = 0
+    in_string: Optional[str] = None
+    for ch in inner:
+        if in_string:
+            buf.append(ch)
+            if ch == in_string:
+                in_string = None
+            continue
+        if ch in ("'", '"'):
+            in_string = ch
+            buf.append(ch)
+        elif ch == "[":
+            depth += 1
+            buf.append(ch)
+        elif ch == "]":
+            depth -= 1
+            buf.append(ch)
+        elif ch == "," and depth == 0:
+            parts.append("".join(buf).strip())
+            buf = []
+        else:
+            buf.append(ch)
+    parts.append("".join(buf).strip())
+    return parts

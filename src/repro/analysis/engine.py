@@ -1,0 +1,70 @@
+"""Analysis driver: collect sources, run rules, apply suppressions.
+
+Separated from the CLI so tests (and future tooling) can run the
+analyzer programmatically on synthetic trees.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional
+
+from .config import LintConfig
+from .framework import (
+    Finding,
+    ProjectRule,
+    SourceFile,
+    all_rules,
+    iter_source_files,
+)
+
+# Rule modules register themselves on import.
+from . import rules as _rules  # noqa: F401
+from . import faultsites as _faultsites  # noqa: F401
+
+
+class AnalysisError(Exception):
+    """A file failed to parse (reported as a usage-level failure)."""
+
+
+def load_sources(paths: Iterable[str]) -> List[SourceFile]:
+    sources: List[SourceFile] = []
+    for path in iter_source_files(paths):
+        try:
+            sources.append(SourceFile(path))
+        except SyntaxError as exc:
+            raise AnalysisError(f"{path}: syntax error: {exc}") from exc
+    return sources
+
+
+def analyze_sources(
+    sources: List[SourceFile], config: Optional[LintConfig] = None
+) -> List[Finding]:
+    """Run every enabled rule over ``sources``; suppressions applied."""
+    config = config or LintConfig()
+    findings: List[Finding] = []
+    for rule_cls in all_rules():
+        if not config.enabled(rule_cls.code):
+            continue
+        rule = rule_cls()
+        options = config.rule_options(rule_cls.code)
+        if isinstance(rule, ProjectRule):
+            for finding in rule.check_project(sources, options):
+                src = next((s for s in sources if s.rel == finding.path), None)
+                if src is None or not src.is_suppressed(finding):
+                    findings.append(finding)
+            continue
+        for src in sources:
+            if not rule.applies_to(src, options):
+                continue
+            for finding in rule.check(src, options):
+                if not src.is_suppressed(finding):
+                    findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def analyze_paths(
+    paths: Iterable[str], config: Optional[LintConfig] = None
+) -> List[Finding]:
+    return analyze_sources(load_sources(paths), config)

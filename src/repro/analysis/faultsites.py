@@ -1,0 +1,134 @@
+"""RPR007: bidirectional fault-site coverage.
+
+``repro.faults`` declares the injection points (the ``SITES`` dict);
+the rest of the tree hooks them via ``faults.fire("site")`` calls or
+``fault_site="site"`` keyword arguments (the durable layer's spelling).
+A declared-but-never-hooked site means the chaos soak silently skips a
+failure mode; a hook naming an undeclared site raises at runtime only
+when a plan actually schedules it.  Both directions fail the lint run.
+
+Only *literal* site names participate: ``faults.fire(variable)`` (the
+dispatch inside the durable layer) is invisible to the static pass by
+design — the literal ``fault_site=`` at the call site is what gets
+cross-checked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from .framework import (
+    ERROR,
+    Finding,
+    ProjectRule,
+    SourceFile,
+    call_source,
+    literal_str,
+    register,
+)
+
+
+@register
+class FaultSiteCoverageRule(ProjectRule):
+    code = "RPR007"
+    name = "fault-site-coverage"
+    severity = ERROR
+    rationale = (
+        "The chaos soak only exercises the failure modes whose sites are "
+        "actually fired; drift between the SITES declaration and the "
+        "hooks silently narrows coverage."
+    )
+
+    def check_project(
+        self, sources: List[SourceFile], options: Dict[str, object]
+    ) -> Iterator[Finding]:
+        sites_module = str(options.get("sites-module") or "repro.faults")
+        declaring = next((s for s in sources if s.module == sites_module), None)
+        if declaring is None:
+            # The sites module is outside the scanned paths; nothing to
+            # cross-check against, so stay silent rather than guess.
+            return
+        declared, decl_line = self._declared_sites(declaring)
+        if decl_line == 0:
+            yield Finding(
+                code=self.code,
+                path=declaring.rel,
+                line=1,
+                message=f"no SITES dict literal found in {sites_module}",
+                severity=self.severity,
+            )
+            return
+
+        invocations: List[Tuple[SourceFile, int, str]] = []
+        for src in sources:
+            if src.module == sites_module:
+                continue
+            invocations.extend(self._invocations(src))
+
+        invoked: Set[str] = {site for _, _, site in invocations}
+
+        for site in sorted(declared - invoked):
+            yield Finding(
+                code=self.code,
+                path=declaring.rel,
+                line=decl_line,
+                message=(
+                    f"declared fault site '{site}' is never fired: hook it or "
+                    "drop it from SITES"
+                ),
+                severity=self.severity,
+                symbol="SITES",
+            )
+        for src, line, site in invocations:
+            if site not in declared:
+                yield Finding(
+                    code=self.code,
+                    path=src.rel,
+                    line=line,
+                    message=(
+                        f"fault site '{site}' is fired but not declared in "
+                        f"{sites_module}.SITES"
+                    ),
+                    severity=self.severity,
+                )
+
+    @staticmethod
+    def _declared_sites(src: SourceFile) -> Tuple[Set[str], int]:
+        for node in ast.walk(src.tree):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            else:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == "SITES":
+                    if isinstance(value, ast.Dict):
+                        sites = set()
+                        for key in value.keys:
+                            name = literal_str(key) if key is not None else None
+                            if name is not None:
+                                sites.add(name)
+                        return sites, node.lineno
+        return set(), 0
+
+    @staticmethod
+    def _invocations(src: SourceFile) -> List[Tuple[SourceFile, int, str]]:
+        found: List[Tuple[SourceFile, int, str]] = []
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            source = call_source(node)
+            if source == "faults.fire" or source.endswith(".faults.fire"):
+                if node.args:
+                    site = literal_str(node.args[0])
+                    if site is not None:
+                        found.append((src, node.lineno, site))
+            for keyword in node.keywords:
+                if keyword.arg == "fault_site":
+                    site = literal_str(keyword.value)
+                    if site is not None:
+                        found.append((src, keyword.value.lineno, site))
+        return found

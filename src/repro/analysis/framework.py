@@ -1,0 +1,234 @@
+"""Core pieces of the ``hqs-lint`` static analyzer.
+
+The analyzer mirrors the certification stance of the ROADMAP: the
+solver's cross-cutting invariants (guard threading, monotonic clocks,
+durable writes, fault-site coverage, fork/async discipline, exception
+hygiene) are checked by an independent pass over the source tree, not
+promised by the code that is supposed to uphold them.
+
+This module holds the rule-agnostic machinery:
+
+* :class:`Finding` — one diagnostic, with a stable identity used by the
+  committed baseline file,
+* :class:`SourceFile` — a parsed source file plus per-line suppression
+  comments (``# hqs-lint: disable=RPR001[,RPR002]``),
+* :class:`Rule` / :class:`ProjectRule` — per-file and whole-tree rule
+  base classes and the registry they register into.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Type
+
+#: Suppression comment syntax, anywhere on the offending physical line.
+SUPPRESS_RE = re.compile(r"#\s*hqs-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+ERROR = "error"
+WARNING = "warning"
+
+
+class Finding:
+    """One diagnostic emitted by a rule.
+
+    The identity used for baselining is ``(code, path, message)`` —
+    deliberately *without* the line number, so unrelated edits above a
+    grandfathered finding do not invalidate the baseline, while any
+    change to what the finding says does.
+    """
+
+    __slots__ = ("code", "path", "line", "message", "severity", "symbol")
+
+    def __init__(
+        self,
+        code: str,
+        path: str,
+        line: int,
+        message: str,
+        severity: str = ERROR,
+        symbol: str = "",
+    ):
+        self.code = code
+        self.path = path
+        self.line = line
+        self.message = message
+        self.severity = severity
+        self.symbol = symbol
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.code, self.path, self.message)
+
+    def sort_key(self) -> Tuple[str, int, str]:
+        return (self.path, self.line, self.code)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "severity": self.severity,
+            "symbol": self.symbol,
+        }
+
+    def render(self) -> str:
+        where = f"{self.path}:{self.line}"
+        sym = f" [{self.symbol}]" if self.symbol else ""
+        return f"{where}: {self.code} {self.severity}: {self.message}{sym}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Finding({self.render()!r})"
+
+
+def module_name_for(path: Path, explicit: Optional[str] = None) -> str:
+    """Derive the dotted module name for ``path``.
+
+    A ``src`` path component is treated as the import root (matching the
+    repo's ``PYTHONPATH=src`` layout); without one, the full relative
+    path is dotted.  ``__init__.py`` maps to its package.
+    """
+    if explicit is not None:
+        return explicit
+    parts = [p for p in path.parts if p not in (".", "")]
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+class SourceFile:
+    """A parsed source file with suppression info and an AST parent map."""
+
+    def __init__(self, path: Path, text: Optional[str] = None, module: Optional[str] = None):
+        self.path = path
+        self.rel = path.as_posix()
+        self.text = path.read_text(encoding="utf-8") if text is None else text
+        self.module = module_name_for(path, module)
+        self.lines = self.text.split("\n")
+        self.tree = ast.parse(self.text, filename=self.rel)
+        self.suppressed: Dict[int, Set[str]] = {}
+        for lineno, line in enumerate(self.lines, 1):
+            match = SUPPRESS_RE.search(line)
+            if match:
+                codes = {c.strip().upper() for c in match.group(1).split(",") if c.strip()}
+                self.suppressed[lineno] = codes
+        self._parents: Optional[Dict[ast.AST, ast.AST]] = None
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        codes = self.suppressed.get(finding.line)
+        if not codes:
+            return False
+        return finding.code in codes or "ALL" in codes
+
+    def parents(self) -> Dict[ast.AST, ast.AST]:
+        if self._parents is None:
+            self._parents = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    self._parents[child] = node
+        return self._parents
+
+    def qualname_of(self, node: ast.AST) -> str:
+        """Dotted name of the classes/functions enclosing ``node``."""
+        parents = self.parents()
+        chain: List[str] = []
+        current = node
+        while current in parents:
+            current = parents[current]
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                chain.append(current.name)
+        return ".".join(reversed(chain))
+
+
+class Rule:
+    """A per-file rule.  Subclasses set the class attributes and
+    implement :meth:`check`."""
+
+    code = "RPR000"
+    name = "unnamed"
+    severity = ERROR
+    rationale = ""
+
+    def check(self, src: SourceFile, options: Dict[str, object]) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def applies_to(self, src: SourceFile, options: Dict[str, object]) -> bool:
+        """Package scoping: empty ``packages`` means every file."""
+        packages = options.get("packages") or []
+        if not packages:
+            return True
+        return any(
+            src.module == pkg or src.module.startswith(pkg + ".") for pkg in packages
+        )
+
+
+class ProjectRule(Rule):
+    """A whole-tree rule (cross-file consistency checks)."""
+
+    def check_project(
+        self, sources: List[SourceFile], options: Dict[str, object]
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def check(self, src: SourceFile, options: Dict[str, object]) -> Iterator[Finding]:
+        return iter(())
+
+
+REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    if cls.code in REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> List[Type[Rule]]:
+    return [REGISTRY[code] for code in sorted(REGISTRY)]
+
+
+# ----------------------------------------------------------------------
+# shared AST helpers used by several rules
+# ----------------------------------------------------------------------
+
+def call_source(node: ast.Call) -> str:
+    """Source text of a call's function expression (``self.guard.check``)."""
+    return ast.unparse(node.func)
+
+
+def walk_skipping_functions(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``node`` without descending into nested function/lambda bodies.
+
+    Used where reachability matters: code inside a nested ``def`` or
+    ``lambda`` does not run when the enclosing block runs.  ``node``
+    itself is descended into even if it is a function definition.
+    """
+    yield node
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def literal_str(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def iter_source_files(paths: Iterable[str]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(p for p in path.rglob("*.py") if p.is_file())
+        elif path.suffix == ".py" and path.is_file():
+            yield path

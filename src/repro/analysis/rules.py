@@ -1,0 +1,541 @@
+"""The per-file invariant rules RPR001–RPR006.
+
+Each rule encodes one cross-cutting convention the solver stack has
+accumulated (see ``docs/lint.md`` for the catalog with rationale).  The
+checks are deliberately syntactic approximations tuned against this
+tree: escape hatches are spelled out per rule, and anything the
+approximation cannot see can be waived per line
+(``# hqs-lint: disable=RPR00x``) or per module via ``[tool.hqs-lint]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from .framework import (
+    ERROR,
+    WARNING,
+    Finding,
+    Rule,
+    SourceFile,
+    call_source,
+    register,
+    walk_skipping_functions,
+)
+
+#: ResourceGuard methods that count as a cooperative check (PR 4 API).
+GUARD_METHODS = ("check", "check_nodes", "ensure", "slice", "tick")
+
+#: Identifier fragments that mark a loop as bounded by a deadline/budget
+#: comparison instead of a guard object.
+BOUND_MARKERS = ("deadline", "budget", "monotonic")
+
+
+def _finding(rule: Rule, src: SourceFile, node: ast.AST, message: str) -> Finding:
+    return Finding(
+        code=rule.code,
+        path=src.rel,
+        line=getattr(node, "lineno", 1),
+        message=message,
+        severity=rule.severity,
+        symbol=src.qualname_of(node),
+    )
+
+
+# ----------------------------------------------------------------------
+# RPR001: guard threading
+# ----------------------------------------------------------------------
+
+@register
+class GuardThreadingRule(Rule):
+    """Unbounded loops in the solver core must reach the ResourceGuard.
+
+    A ``while`` loop is treated as unbounded when its test is a truthy
+    constant (``while True``) or a bare name the body never reassigns
+    (an effectively-constant flag).  ``while worklist:`` loops that pop
+    from the tested collection are worklist consumers — bounded as long
+    as pushes are — and are exempt.  An unbounded loop must contain a
+    guard call (``*.check()`` / ``*.check_nodes()`` / ``*.ensure()`` /
+    ``*.slice()`` on something named ``guard``) or an explicit
+    deadline/budget comparison; loops bounded by construction for other
+    reasons go in the ``allow`` list as ``module::qualname`` entries.
+    """
+
+    code = "RPR001"
+    name = "guard-threading"
+    severity = ERROR
+    rationale = (
+        "PR 4's graceful degradation only works if every potentially "
+        "long-running loop polls the cooperative ResourceGuard; a single "
+        "unguarded fixpoint loop turns a budget overrun into a hang."
+    )
+
+    def check(self, src: SourceFile, options: Dict[str, object]) -> Iterator[Finding]:
+        allow = set(options.get("allow") or [])
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.While):
+                continue
+            if not self._is_unbounded(node):
+                continue
+            qualname = src.qualname_of(node)
+            if f"{src.module}::{qualname}" in allow:
+                continue
+            if self._has_guard_call(node) or self._has_bound_comparison(node):
+                continue
+            yield _finding(
+                self,
+                src,
+                node,
+                f"unbounded 'while {ast.unparse(node.test)}' loop never calls "
+                "guard.check()/ensure() and has no deadline/budget bound",
+            )
+
+    @staticmethod
+    def _is_unbounded(node: ast.While) -> bool:
+        test = node.test
+        if isinstance(test, ast.Constant):
+            return bool(test.value)
+        if isinstance(test, ast.Name):
+            # Worklist consumer: the body pops from the tested collection.
+            for child in ast.walk(node):
+                if (
+                    isinstance(child, ast.Call)
+                    and isinstance(child.func, ast.Attribute)
+                    and child.func.attr in ("pop", "popleft", "popitem")
+                    and isinstance(child.func.value, ast.Name)
+                    and child.func.value.id == test.id
+                ):
+                    return False
+            # Effectively constant: the body never rebinds the flag.
+            for child in ast.walk(node):
+                if isinstance(child, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    targets = (
+                        child.targets
+                        if isinstance(child, ast.Assign)
+                        else [child.target]
+                    )
+                    for target in targets:
+                        for name in ast.walk(target):
+                            if isinstance(name, ast.Name) and name.id == test.id:
+                                return False
+                if isinstance(child, ast.Nonlocal) and test.id in child.names:
+                    return False
+            return True
+        return False
+
+    @staticmethod
+    def _has_guard_call(node: ast.While) -> bool:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call) and isinstance(child.func, ast.Attribute):
+                if child.func.attr in GUARD_METHODS:
+                    receiver = ast.unparse(child.func.value).lower()
+                    if "guard" in receiver:
+                        return True
+        return False
+
+    @staticmethod
+    def _has_bound_comparison(node: ast.While) -> bool:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Compare):
+                text = ast.unparse(child).lower()
+                if any(marker in text for marker in BOUND_MARKERS):
+                    return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# RPR002: clock hygiene
+# ----------------------------------------------------------------------
+
+@register
+class ClockHygieneRule(Rule):
+    """Durations and deadlines must come from the monotonic clock.
+
+    ``time.time()`` is subject to NTP steps and manual adjustment; every
+    elapsed-time or deadline computation must use ``time.monotonic()``.
+    The rule flags *all* ``time.time()`` calls — a genuine wall-clock
+    timestamp (logged metadata, never subtracted) is waived with a
+    per-line suppression or ``allow-modules``.
+    """
+
+    code = "RPR002"
+    name = "clock-hygiene"
+    severity = ERROR
+    rationale = (
+        "A wall-clock step during a solve corrupts budgets, retry "
+        "backoffs and benchmark numbers; the tree was converted to "
+        "time.monotonic() and this rule keeps it that way."
+    )
+
+    def check(self, src: SourceFile, options: Dict[str, object]) -> Iterator[Finding]:
+        if src.module in set(options.get("allow-modules") or []):
+            return
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Call) and call_source(node) == "time.time":
+                yield _finding(
+                    self,
+                    src,
+                    node,
+                    "time.time() call: use time.monotonic() for durations/deadlines "
+                    "(suppress if a wall-clock timestamp is really intended)",
+                )
+
+
+# ----------------------------------------------------------------------
+# RPR003: determinism
+# ----------------------------------------------------------------------
+
+#: Module-level random functions whose use defeats seeded replay.
+MODULE_RANDOM_FNS = (
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "seed", "getrandbits", "gauss", "betavariate",
+)
+
+
+@register
+class DeterminismRule(Rule):
+    """Randomness must flow from an explicit seed.
+
+    Flags ``random.Random()`` constructed without arguments and calls to
+    the module-level ``random.*`` functions (which share hidden global
+    state).  Benchmarks and soaks replay byte-identical schedules only
+    when every RNG hangs off a seed threaded from the caller.
+    """
+
+    code = "RPR003"
+    name = "determinism"
+    severity = ERROR
+    rationale = (
+        "REPRO_FAULTS soaks and Table 1 reruns must replay identically; "
+        "an unseeded RNG anywhere in the stack breaks bisection of "
+        "chaos-found bugs."
+    )
+
+    def check(self, src: SourceFile, options: Dict[str, object]) -> Iterator[Finding]:
+        if src.module in set(options.get("allow-modules") or []):
+            return
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            source = call_source(node)
+            if source in ("random.Random", "Random") and not node.args and not node.keywords:
+                yield _finding(
+                    self,
+                    src,
+                    node,
+                    "random.Random() constructed without a seed: thread an explicit "
+                    "seed so runs replay deterministically",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "random"
+                and node.func.attr in MODULE_RANDOM_FNS
+            ):
+                yield _finding(
+                    self,
+                    src,
+                    node,
+                    f"module-level random.{node.func.attr}() uses hidden global RNG "
+                    "state: use a seeded random.Random instance",
+                )
+
+
+# ----------------------------------------------------------------------
+# RPR004: durability
+# ----------------------------------------------------------------------
+
+WRITE_MODES = ("w", "wb", "a", "ab", "w+", "wb+", "a+", "ab+", "x", "xb")
+
+
+@register
+class DurabilityRule(Rule):
+    """Writes in the service/experiments layers must go through
+    ``repro.durable`` CRC framing.
+
+    Raw ``open(..., 'w'/'a')`` and ``os.replace`` in those packages
+    bypass the torn-write protection the chaos soak relies on.  Modules
+    producing human-readable artifacts (reports, exports, figures) are
+    listed in ``allow-modules``; the durable framing layer itself uses a
+    per-line suppression.
+    """
+
+    code = "RPR004"
+    name = "durability"
+    severity = ERROR
+    rationale = (
+        "PR 7's crash-safety story holds only if every record that must "
+        "survive a fault goes through write_framed/frame_line; a raw "
+        "open('w') reintroduces silent torn-write corruption."
+    )
+
+    def check(self, src: SourceFile, options: Dict[str, object]) -> Iterator[Finding]:
+        if src.module in set(options.get("allow-modules") or []):
+            return
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            source = call_source(node)
+            if source == "os.replace":
+                yield _finding(
+                    self,
+                    src,
+                    node,
+                    "os.replace() outside repro.durable: atomic renames belong in "
+                    "the durable layer",
+                )
+            elif source == "open":
+                mode = self._open_mode(node)
+                if mode is not None and mode.replace("+", "") in (
+                    "w", "wb", "a", "ab", "x", "xb"
+                ):
+                    yield _finding(
+                        self,
+                        src,
+                        node,
+                        f"raw open(..., {mode!r}) bypasses repro.durable framing: "
+                        "use durable.write_framed/frame_line for crash-safe records",
+                    )
+
+    @staticmethod
+    def _open_mode(node: ast.Call) -> Optional[str]:
+        if len(node.args) >= 2:
+            mode = node.args[1]
+            if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+                return mode.value
+            return None
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                if isinstance(keyword.value, ast.Constant) and isinstance(
+                    keyword.value.value, str
+                ):
+                    return keyword.value.value
+                return None
+        return None  # default mode "r": not a write
+
+
+# ----------------------------------------------------------------------
+# RPR005: fork/async safety
+# ----------------------------------------------------------------------
+
+#: Call sources that block the event loop outright.
+ASYNC_BLOCKING_EXACT = ("time.sleep", "os.fsync", "open")
+ASYNC_BLOCKING_PREFIX = ("subprocess.",)
+
+
+@register
+class ForkAsyncSafetyRule(Rule):
+    """Async bodies must not block the loop; forks must precede threads.
+
+    In ``async-modules``, direct statements of an ``async def`` (nested
+    ``def``/``lambda`` bodies are skipped — they typically run in an
+    executor) must not call ``time.sleep``, ``subprocess.*``,
+    ``os.fsync``, ``open`` or any configured ``known-blocking``
+    attribute suffix.  In ``fork-modules``, two fork-discipline checks:
+    a ``threading.Thread`` created lexically before a ``Process(...)``
+    in the same function body, and a same-module ``Process``
+    ``target=`` function that never calls ``close_foreign_sockets``
+    (the PR 7 forked-fd bug class).
+    """
+
+    code = "RPR005"
+    name = "fork-async-safety"
+    severity = ERROR
+    rationale = (
+        "A blocking call on the event loop stalls every connected "
+        "client; a thread captured by fork() deadlocks the worker pool. "
+        "Both failure modes escaped review once already."
+    )
+
+    def applies_to(self, src: SourceFile, options: Dict[str, object]) -> bool:
+        modules = set(options.get("async-modules") or []) | set(
+            options.get("fork-modules") or []
+        )
+        return src.module in modules
+
+    def check(self, src: SourceFile, options: Dict[str, object]) -> Iterator[Finding]:
+        if src.module in set(options.get("async-modules") or []):
+            yield from self._check_async(src, options)
+        if src.module in set(options.get("fork-modules") or []):
+            yield from self._check_fork(src)
+
+    def _check_async(
+        self, src: SourceFile, options: Dict[str, object]
+    ) -> Iterator[Finding]:
+        known_blocking = tuple(options.get("known-blocking") or [])
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for child in walk_skipping_functions(node):
+                if not isinstance(child, ast.Call):
+                    continue
+                source = call_source(child)
+                blocking = (
+                    source in ASYNC_BLOCKING_EXACT
+                    or any(source.startswith(p) for p in ASYNC_BLOCKING_PREFIX)
+                    or any(
+                        source == suffix or source.endswith("." + suffix)
+                        for suffix in known_blocking
+                    )
+                )
+                if blocking:
+                    yield _finding(
+                        self,
+                        src,
+                        child,
+                        f"blocking call {source}() on the event loop inside "
+                        f"'async def {node.name}': run it in the executor",
+                    )
+
+    def _check_fork(self, src: SourceFile) -> Iterator[Finding]:
+        # (a) Thread created lexically before a Process() in one function.
+        for fn in ast.walk(src.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            threads: List[ast.Call] = []
+            forks: List[ast.Call] = []
+            for child in walk_skipping_functions(fn):
+                if not isinstance(child, ast.Call):
+                    continue
+                source = call_source(child)
+                if source.endswith("Thread"):
+                    threads.append(child)
+                elif source.endswith("Process"):
+                    forks.append(child)
+            if not threads:
+                continue
+            first_thread = min(threads, key=lambda call: call.lineno)
+            for fork in forks:
+                if first_thread.lineno < fork.lineno:
+                    yield _finding(
+                        self,
+                        src,
+                        fork,
+                        f"Process() forked after a Thread was started at line "
+                        f"{first_thread.lineno}: fork first, then start "
+                        "threads, or the child inherits locked state",
+                    )
+        # (b) Same-module fork targets must drop inherited sockets.
+        functions: Dict[str, ast.AST] = {}
+        for node in src.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                functions[node.name] = node
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not call_source(node).endswith("Process"):
+                continue
+            target = self._target_name(node)
+            if target is None or target not in functions:
+                continue
+            if not self._calls_close_foreign_sockets(functions[target]):
+                yield _finding(
+                    self,
+                    src,
+                    node,
+                    f"fork target {target}() never calls close_foreign_sockets(): "
+                    "inherited pipe/socket fds keep peers from seeing EOF",
+                )
+
+    @staticmethod
+    def _target_name(node: ast.Call) -> Optional[str]:
+        for keyword in node.keywords:
+            if keyword.arg == "target" and isinstance(keyword.value, ast.Name):
+                return keyword.value.id
+        return None
+
+    @staticmethod
+    def _calls_close_foreign_sockets(fn: ast.AST) -> bool:
+        for child in ast.walk(fn):
+            if isinstance(child, ast.Call):
+                source = call_source(child)
+                if source == "close_foreign_sockets" or source.endswith(
+                    ".close_foreign_sockets"
+                ):
+                    return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# RPR006: exception hygiene
+# ----------------------------------------------------------------------
+
+BROAD_TYPES = ("Exception", "BaseException")
+
+
+@register
+class ExceptionHygieneRule(Rule):
+    """Broad handlers must not swallow failures silently.
+
+    A bare ``except:`` or ``except Exception/BaseException`` handler
+    must re-raise, reference :class:`repro.errors.FailureDiagnosis`, or
+    capture the traceback (``traceback.format_exc``/``print_exc``).
+    Handlers that do none of those turn crash evidence into silence —
+    exactly what the robustness work (PR 4/7) exists to prevent.
+    """
+
+    code = "RPR006"
+    name = "exception-hygiene"
+    severity = ERROR
+    rationale = (
+        "The failure-diagnosis pipeline needs every broad handler to "
+        "either propagate or record; a swallowing handler hides the "
+        "one traceback that would explain a wedged soak."
+    )
+
+    def check(self, src: SourceFile, options: Dict[str, object]) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = node.type is None or self._is_broad(node.type)
+            if not broad:
+                continue
+            if self._has_escape(node):
+                continue
+            what = "bare except:" if node.type is None else (
+                f"except {ast.unparse(node.type)}"
+            )
+            yield _finding(
+                self,
+                src,
+                node,
+                f"{what} swallows the failure: re-raise, attach a "
+                "FailureDiagnosis, or capture traceback.format_exc()",
+            )
+
+    @staticmethod
+    def _is_broad(type_node: ast.AST) -> bool:
+        names: List[str] = []
+        if isinstance(type_node, ast.Tuple):
+            names = [ast.unparse(e) for e in type_node.elts]
+        else:
+            names = [ast.unparse(type_node)]
+        return any(name in BROAD_TYPES for name in names)
+
+    @staticmethod
+    def _has_escape(node: ast.ExceptHandler) -> bool:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Raise):
+                return True
+            if isinstance(child, ast.Name) and child.id == "FailureDiagnosis":
+                return True
+            if isinstance(child, ast.Attribute) and child.attr == "FailureDiagnosis":
+                return True
+            if isinstance(child, ast.Call):
+                source = call_source(child)
+                if source.endswith("format_exc") or source.endswith("print_exc"):
+                    return True
+        return False
+
+
+__all__ = [
+    "GuardThreadingRule",
+    "ClockHygieneRule",
+    "DeterminismRule",
+    "DurabilityRule",
+    "ForkAsyncSafetyRule",
+    "ExceptionHygieneRule",
+    "GUARD_METHODS",
+    "WARNING",
+]

@@ -243,7 +243,7 @@ class HqsSolver:
         guard.enter_stage("preprocess")
         gates: List[Gate] = []
         if options.use_preprocessing:
-            pre = preprocess(formula, detect_gates=options.use_gate_detection)
+            pre = preprocess(formula, detect_gates=options.use_gate_detection, guard=guard)
             self.stats.update({f"pre_{k}": v for k, v in pre.stats.as_dict().items()})
             if pre.status is not None:
                 self._trace(f"preprocessing decided the formula: {pre.status}")
@@ -424,7 +424,7 @@ class HqsSolver:
             if options.use_unit_pure:
                 tick = time.monotonic()
                 decided = apply_unit_pure(
-                    state, unit_pure_stats, batched=options.use_fused_kernel
+                    state, unit_pure_stats, batched=options.use_fused_kernel, guard=guard
                 )
                 unit_pure_time += time.monotonic() - tick
                 self.stats["unit_pure_time"] = unit_pure_time

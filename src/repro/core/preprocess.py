@@ -27,6 +27,7 @@ from ..formula.cnf import Cnf
 from ..formula.dqbf import Dqbf
 from ..formula.lits import var_of
 from ..formula.prefix import DependencyPrefix
+from .guard import ResourceGuard
 
 
 class Gate:
@@ -85,13 +86,21 @@ class PreprocessResult:
 
 
 def preprocess(
-    formula: Dqbf, detect_gates: bool = True, use_subsumption: bool = True
+    formula: Dqbf,
+    detect_gates: bool = True,
+    use_subsumption: bool = True,
+    guard: Optional[ResourceGuard] = None,
 ) -> PreprocessResult:
-    """Run the full preprocessing pipeline on a copy of ``formula``."""
+    """Run the full preprocessing pipeline on a copy of ``formula``.
+
+    ``guard`` threads the caller's cooperative budget through the
+    fixpoint loops; ``None`` gets an unlimited guard.
+    """
     work = formula.copy()
     stats = PreprocessStats()
+    guard = ResourceGuard.ensure(guard)
 
-    status = _simplify_to_fixpoint(work, stats, use_subsumption)
+    status = _simplify_to_fixpoint(work, stats, use_subsumption, guard)
     if status is not None:
         return PreprocessResult(status, None, [], stats)
 
@@ -102,7 +111,9 @@ def preprocess(
     if not len(work.matrix) and not gates:
         return PreprocessResult(True, None, [], stats)
     work.prefix.restrict_to(
-        work.matrix.variables() | {g.output for g in gates} | {v for g in gates for v in g.input_vars()}
+        work.matrix.variables()
+        | {g.output for g in gates}
+        | {v for g in gates for v in g.input_vars()}
     )
     return PreprocessResult(None, work, gates, stats)
 
@@ -112,12 +123,17 @@ def preprocess(
 # ----------------------------------------------------------------------
 
 def _simplify_to_fixpoint(
-    work: Dqbf, stats: PreprocessStats, use_subsumption: bool = True
+    work: Dqbf,
+    stats: PreprocessStats,
+    use_subsumption: bool = True,
+    guard: Optional[ResourceGuard] = None,
 ) -> Optional[bool]:
+    guard = ResourceGuard.ensure(guard)
     while True:
+        guard.check()
         stats.rounds += 1
 
-        status = _propagate_units(work, stats)
+        status = _propagate_units(work, stats, guard)
         if status is not None:
             return status
 
@@ -148,9 +164,13 @@ def _has_unit(matrix: Cnf) -> bool:
     return any(len(clause) == 1 for clause in matrix)
 
 
-def _propagate_units(work: Dqbf, stats: PreprocessStats) -> Optional[bool]:
+def _propagate_units(
+    work: Dqbf, stats: PreprocessStats, guard: Optional[ResourceGuard] = None
+) -> Optional[bool]:
     """Assign all unit literals; returns a decided status or None."""
+    guard = ResourceGuard.ensure(guard)
     while True:
+        guard.check()
         unit = next((c for c in work.matrix if len(c) == 1), None)
         if unit is None:
             return None
@@ -401,7 +421,7 @@ def _detect_gates(work: Dqbf, stats: PreprocessStats) -> List[Gate]:
         return []
 
     removed: Set[Tuple[int, ...]] = set()
-    for gate, defining in accepted:
+    for _gate, defining in accepted:
         removed.update(defining)
     rebuilt = Cnf(num_vars=work.matrix.num_vars)
     for clause in work.matrix:

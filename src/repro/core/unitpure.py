@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..aig.unitpure import detect_unit_pure
+from .guard import ResourceGuard
 from .state import AigDqbf
 
 
@@ -38,7 +39,10 @@ class UnitPureStats:
 
 
 def apply_unit_pure(
-    state: AigDqbf, stats: Optional[UnitPureStats] = None, batched: bool = True
+    state: AigDqbf,
+    stats: Optional[UnitPureStats] = None,
+    batched: bool = True,
+    guard: Optional[ResourceGuard] = None,
 ) -> Optional[bool]:
     """Eliminate unit/pure variables until fixpoint.
 
@@ -52,9 +56,14 @@ def apply_unit_pure(
     pass.  Substituting constants for distinct variables commutes, so
     this is equivalent to the ``batched=False`` reference path, which
     rebuilds the full live cone once per variable.
+
+    ``guard`` threads the caller's cooperative budget through the
+    fixpoint rounds; ``None`` gets an unlimited guard.
     """
     stats = stats if stats is not None else UnitPureStats()
+    guard = ResourceGuard.ensure(guard)
     while True:
+        guard.check()
         constant = state.is_constant()
         if constant is not None:
             return constant

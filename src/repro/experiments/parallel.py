@@ -292,7 +292,9 @@ class ResultLog:
                 self._tail_dirty = probe.read(1) != b"\n"
         except (OSError, ValueError):  # missing or empty file
             pass
-        self._handle = open(self.path, "a", encoding="utf-8")
+        # This *is* the durable framing layer: every line written through
+        # this handle is CRC-framed and fsynced by append().
+        self._handle = open(self.path, "a", encoding="utf-8")  # hqs-lint: disable=RPR004
 
     def close(self) -> None:
         if self._handle is not None:

@@ -67,9 +67,13 @@ class BenchConfig:
         jobs: Optional[int] = None,
         checkpoint_dir: Optional[str] = None,
     ):
-        self.scale = scale if scale is not None else float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+        self.scale = (
+            scale if scale is not None else float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+        )
         self.count = count if count is not None else int(os.environ.get("REPRO_BENCH_COUNT", "6"))
-        self.timeout = timeout if timeout is not None else float(os.environ.get("REPRO_BENCH_TIMEOUT", "5.0"))
+        self.timeout = (
+            timeout if timeout is not None else float(os.environ.get("REPRO_BENCH_TIMEOUT", "5.0"))
+        )
         self.node_limit = node_limit if node_limit is not None else int(
             os.environ.get("REPRO_BENCH_NODELIMIT", "200000")
         )
@@ -115,7 +119,9 @@ def _solve_hqs(formula: Dqbf, limits: Limits, checkpoint: Optional[str] = None) 
     return HqsSolver().solve(formula, limits, checkpoint=checkpoint)
 
 
-def _solve_hqs_probe(formula: Dqbf, limits: Limits, checkpoint: Optional[str] = None) -> SolveResult:
+def _solve_hqs_probe(
+    formula: Dqbf, limits: Limits, checkpoint: Optional[str] = None
+) -> SolveResult:
     return HqsSolver(HqsOptions(use_sat_probe=True)).solve(
         formula, limits, checkpoint=checkpoint
     )
@@ -178,7 +184,9 @@ def _check_expected(
     return SolveResult(MISMATCH, result.runtime, stats)
 
 
-def generate_suite(config: BenchConfig, families: Sequence[str] = FAMILIES) -> Dict[str, List[PecInstance]]:
+def generate_suite(
+    config: BenchConfig, families: Sequence[str] = FAMILIES
+) -> Dict[str, List[PecInstance]]:
     """Generate the scaled benchmark suite, one instance pool per family."""
     return {
         family: generate_family(family, config.count, scale=config.scale, seed=config.seed)

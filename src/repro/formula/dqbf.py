@@ -143,7 +143,9 @@ def _tables_satisfy(
 # Oracle 2: full universal expansion
 # ----------------------------------------------------------------------
 
-def expand_to_propositional(formula: Dqbf) -> Tuple[Cnf, Dict[Tuple[int, FrozenSet[Tuple[int, bool]]], int]]:
+def expand_to_propositional(
+    formula: Dqbf,
+) -> Tuple[Cnf, Dict[Tuple[int, FrozenSet[Tuple[int, bool]]], int]]:
     """Fully expand all universal variables (iterated Theorem 1).
 
     Returns a propositional CNF together with the mapping from

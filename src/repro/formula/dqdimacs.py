@@ -98,7 +98,9 @@ def parse_dqdimacs(source: Union[str, TextIO]) -> Dqbf:
     return Dqbf(prefix, matrix)
 
 
-def _parse_terminated(tokens: List[str], line_number: int, allow_negative: bool = False) -> List[int]:
+def _parse_terminated(
+    tokens: List[str], line_number: int, allow_negative: bool = False
+) -> List[int]:
     try:
         numbers = [int(t) for t in tokens]
     except ValueError as exc:

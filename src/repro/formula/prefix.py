@@ -221,7 +221,7 @@ class BlockedPrefix:
         self._blocks.pop()
 
     def remove_variable(self, var: int) -> None:
-        for index, (quantifier, variables) in enumerate(self._blocks):
+        for index, (_quantifier, variables) in enumerate(self._blocks):
             if var in variables:
                 variables.remove(var)
                 if not variables:

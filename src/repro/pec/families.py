@@ -532,7 +532,7 @@ def generate_family(
     """
     rng = random.Random(seed ^ zlib.crc32(family.encode("ascii")))
     instances: List[PecInstance] = []
-    for index in range(count):
+    for _index in range(count):
         buggy = rng.random() >= sat_fraction
         inst_seed = rng.randrange(1 << 30)
         size_jitter = rng.choice([0, 0, 1, 1, 2])

@@ -80,7 +80,7 @@ def comp_like(bits: int = 4, name: str = "comp") -> Circuit:
     c.add_gate("gtin", "const0", [])
     eq_prev, gt_prev = "eqin", "gtin"
     # iterate from MSB down to LSB
-    for rank, i in enumerate(reversed(range(bits))):
+    for _rank, i in enumerate(reversed(range(bits))):
         c.add_gate(f"x{i}", "xnor", [f"a{i}", f"b{i}"])
         c.add_gate(f"nb{i}", "not", [f"b{i}"])
         c.add_gate(f"w{i}", "and", [f"a{i}", f"nb{i}"])       # a_i > b_i

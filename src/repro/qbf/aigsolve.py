@@ -95,7 +95,7 @@ def solve_aig_qbf(
                 prefix.remove_variable(var)
 
         if use_unit_pure:
-            outcome, root = _apply_unit_pure_qbf(aig, root, prefix, stats, fused)
+            outcome, root = _apply_unit_pure_qbf(aig, root, prefix, stats, fused, guard)
             if outcome is not None:
                 return outcome
             if root in (TRUE, FALSE):
@@ -154,13 +154,17 @@ def _apply_unit_pure_qbf(
     prefix: BlockedPrefix,
     stats: QbfSolverStats,
     fused: bool = True,
+    guard: Optional[ResourceGuard] = None,
 ):
     """Theorem 5 on a blocked prefix; returns ``(decided, root)``.
 
     ``fused`` applies each detection round as one batched ``restrict``
-    instead of one full-cone cofactor rebuild per variable.
+    instead of one full-cone cofactor rebuild per variable.  ``guard``
+    threads the caller's budget through the fixpoint rounds.
     """
+    guard = ResourceGuard.ensure(guard)
     while True:
+        guard.check()
         if root in (TRUE, FALSE):
             return None, root
         info = detect_unit_pure(aig, root)

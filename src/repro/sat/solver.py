@@ -607,7 +607,9 @@ def _luby(index: int) -> int:
     return 1 << seq
 
 
-def solve_cnf(clauses: Iterable[Iterable[int]], assumptions: Sequence[int] = ()) -> Tuple[str, Dict[int, bool]]:
+def solve_cnf(
+    clauses: Iterable[Iterable[int]], assumptions: Sequence[int] = ()
+) -> Tuple[str, Dict[int, bool]]:
     """One-shot convenience wrapper: returns ``(status, model)``."""
     solver = CdclSolver()
     solver.add_clauses(clauses)

@@ -48,6 +48,7 @@ import socket
 import sys
 import threading
 import time
+import zlib
 from typing import Dict, Optional, Sequence, Tuple, Union
 
 from ..formula.dqbf import Dqbf
@@ -102,6 +103,13 @@ class ServiceClient:
     initial sleep between attempts, doubled per retry up to
     ``backoff_cap`` with +-50% jitter; ``deadline`` caps the total
     wall-clock of one logical request across all attempts.
+
+    ``seed`` makes the retry jitter reproducible: with a seed set,
+    :meth:`solve` derives its backoff RNG from ``seed`` combined with
+    the formula text, so a ``REPRO_FAULTS`` soak replays the identical
+    retry schedule per request regardless of thread interleaving.
+    Without one, jitter is entropy-seeded as before (decorrelating
+    concurrent clients is the whole point of the jitter).
     """
 
     def __init__(
@@ -113,6 +121,7 @@ class ServiceClient:
         backoff: float = 0.05,
         backoff_cap: float = 2.0,
         deadline: Optional[float] = None,
+        seed: Optional[int] = None,
     ):
         self.host = host
         self.port = port
@@ -121,13 +130,14 @@ class ServiceClient:
         self.backoff = backoff
         self.backoff_cap = backoff_cap
         self.deadline = deadline
+        self.seed = seed
         #: Attempts beyond the first, across the client's lifetime.
         self.retried = 0
         self._lock = threading.Lock()
         self._sock: Optional[socket.socket] = None
         self._file = None
         self._next_id = 0
-        self._rng = random.Random()
+        self._rng = random.Random(seed)
 
     # ------------------------------------------------------------------
     def _connect(self, timeout: Optional[float]) -> None:
@@ -159,15 +169,35 @@ class ServiceClient:
         self.close()
 
     # ------------------------------------------------------------------
-    def request(self, message: Dict[str, object]) -> Dict[str, object]:
+    def jitter_rng(self, payload: str) -> random.Random:
+        """The backoff RNG for one logical request.
+
+        With :attr:`seed` set, the RNG is derived from the seed and the
+        request payload, so the retry schedule of a given formula is
+        identical across runs and independent of how concurrent
+        requests interleave.  Without a seed, the shared client RNG is
+        used.
+        """
+        if self.seed is None:
+            return self._rng
+        fingerprint = zlib.crc32(payload.encode("ascii", "replace"))
+        return random.Random((self.seed << 32) ^ fingerprint)
+
+    def request(
+        self,
+        message: Dict[str, object],
+        rng: Optional[random.Random] = None,
+    ) -> Dict[str, object]:
         """Send one request message, return the response dict.
 
         Retries transport failures and BUSY rejections (reconnecting
         with jittered backoff) up to ``self.retries`` extra attempts
-        within ``self.deadline`` seconds.  Raises :class:`ServiceError`
+        within ``self.deadline`` seconds.  ``rng`` overrides the jitter
+        source (see :meth:`jitter_rng`).  Raises :class:`ServiceError`
         (or a subclass) when the budget is exhausted or the server
         answers ``ok: false``.
         """
+        rng = rng if rng is not None else self._rng
         deadline_at = (
             time.monotonic() + self.deadline if self.deadline is not None
             else None
@@ -179,7 +209,7 @@ class ServiceClient:
         last_error: Optional[ServiceError] = None
         for attempt in range(self.retries + 1):
             if attempt:
-                delay = self._backoff_delay(attempt, deadline_at)
+                delay = self._backoff_delay(attempt, deadline_at, rng)
                 if delay is None:
                     break  # deadline spent: surface the last failure
                 time.sleep(delay)
@@ -207,11 +237,15 @@ class ServiceClient:
             "request failed before any attempt")
 
     def _backoff_delay(
-        self, attempt: int, deadline_at: Optional[float]
+        self,
+        attempt: int,
+        deadline_at: Optional[float],
+        rng: Optional[random.Random] = None,
     ) -> Optional[float]:
         """Jittered exponential backoff; ``None`` when past the deadline."""
+        rng = rng if rng is not None else self._rng
         delay = min(self.backoff_cap, self.backoff * (2 ** (attempt - 1)))
-        delay *= 0.5 + self._rng.random()  # +-50% jitter: decorrelate clients
+        delay *= 0.5 + rng.random()  # +-50% jitter: decorrelate clients
         if deadline_at is not None:
             remaining = deadline_at - time.monotonic()
             if remaining <= 0:
@@ -290,11 +324,12 @@ class ServiceClient:
             formula, family=family, timeout=timeout,
             node_limit=node_limit, no_cache=no_cache,
         )
-        reply = self.request(message)
+        rng = self.jitter_rng(formula)
+        reply = self.request(message, rng=rng)
         for _ in range(max(0, resubmit)):
             if str(reply.get("status")) not in resubmit_statuses:
                 break
-            reply = self.request(dict(message))  # fresh id per attempt
+            reply = self.request(dict(message), rng=rng)  # fresh id per attempt
         return reply
 
     def ping(self) -> Dict[str, object]:
@@ -349,6 +384,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--deadline", type=float, default=None,
                         help="overall wall-clock budget per request across "
                              "all retries")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="seed the retry jitter (reproducible backoff "
+                             "schedules for fault-injection soaks)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     solve = sub.add_parser("solve", help="solve a DQDIMACS file")
@@ -379,7 +417,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     client = ServiceClient(host=args.host, port=args.port,
                            retries=args.retries, backoff=args.backoff,
-                           deadline=args.deadline)
+                           deadline=args.deadline, seed=args.seed)
     try:
         if args.command == "ping":
             reply = client.ping()
@@ -400,7 +438,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         with open(args.file, "r", encoding="ascii") as handle:
             text = handle.read()
         reply = None
-        for attempt in range(max(1, args.repeat)):
+        for _attempt in range(max(1, args.repeat)):
             reply = client.solve(
                 text,
                 family=args.family,

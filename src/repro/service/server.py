@@ -32,7 +32,9 @@ import asyncio
 import json
 import signal
 import sys
+import threading
 import time
+import traceback
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional, Sequence
 
@@ -125,6 +127,15 @@ class SolverService:
         self._executor = ThreadPoolExecutor(
             max_workers=pool.size, thread_name_prefix="hqs-pool"
         )
+        # Dedicated single thread for the post-solve disk writes (cache
+        # store + fsynced log append).  They must not run on the event
+        # loop — an fsync stalls every connected client — and must not
+        # queue behind long solves in the pool executor.  One thread
+        # also serializes ResultLog.append, which is not reentrant.
+        self._io_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="hqs-io"
+        )
+        self._log_lock = threading.Lock()
         self._log: Optional[ResultLog] = None
         self._logged = set()
         if self.config.log_path is not None:
@@ -235,8 +246,15 @@ class SolverService:
         )
         if resuming and payload.get("stats", {}).get("checkpoint_resumed"):
             self.cache.note_resume()
-        if self.cache.store(fingerprint, payload):
-            self._append_log(fingerprint, payload)
+
+        def _persist() -> None:
+            if self.cache.store(fingerprint, payload):
+                self._append_log(fingerprint, payload)
+
+        # Blocking disk IO (cache write, fsynced log append) stays off
+        # the event loop; the response waits so drain still guarantees
+        # every acknowledged result is on disk.
+        await loop.run_in_executor(self._io_executor, _persist)
         return payload
 
     def _result_response(
@@ -255,19 +273,25 @@ class SolverService:
 
     # ------------------------------------------------------------------
     def _append_log(self, fingerprint: str, payload: Dict[str, object]) -> None:
-        """Log a *fresh* definitive result exactly once per fingerprint."""
+        """Log a *fresh* definitive result exactly once per fingerprint.
+
+        Runs on the IO executor thread; the lock keeps the dedup set
+        and the non-reentrant :class:`ResultLog` consistent with the
+        drain path.
+        """
         if self._log is None:
             return
         key = (fingerprint, LOG_SOLVER)
-        if key in self._logged:
-            return
-        entry = {"instance": fingerprint, "solver": LOG_SOLVER}
-        entry.update(
-            {k: payload[k] for k in ("status", "runtime", "stats")
-             if k in payload}
-        )
-        self._log.append(entry)
-        self._logged.add(key)
+        with self._log_lock:
+            if key in self._logged:
+                return
+            entry = {"instance": fingerprint, "solver": LOG_SOLVER}
+            entry.update(
+                {k: payload[k] for k in ("status", "runtime", "stats")
+                 if k in payload}
+            )
+            self._log.append(entry)
+            self._logged.add(key)
 
     # ------------------------------------------------------------------
     def uptime(self) -> float:
@@ -321,8 +345,10 @@ class SolverService:
 
     def close(self) -> None:
         self._executor.shutdown(wait=False)
+        self._io_executor.shutdown(wait=True)  # flush queued log appends
         if self._log is not None:
-            self._log.close()
+            with self._log_lock:
+                self._log.close()
 
 
 class ServiceServer:
@@ -375,6 +401,14 @@ class ServiceServer:
                     self.service.errors += 1
                     message, response = {}, error_response({}, str(exc))
                 except Exception as exc:  # solver-side surprise: keep serving
+                    # The client gets a terse error; the operator gets
+                    # the full traceback — a swallowed one here is the
+                    # only evidence when a worker wedges a request.
+                    print(
+                        f"c internal error serving request: {exc!r}\n"
+                        f"{traceback.format_exc()}",
+                        file=sys.stderr,
+                    )
                     self.service.errors += 1
                     message, response = {}, error_response(
                         {}, f"internal error: {exc!r}")

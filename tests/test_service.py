@@ -335,6 +335,48 @@ def server_loop_stop(server):
         pass
 
 
+class TestRetryJitter:
+    """Regression tests for the seeded retry-backoff RNG (RPR003 fix)."""
+
+    def _delays(self, client, payload, attempts=5):
+        rng = client.jitter_rng(payload)
+        return [client._backoff_delay(attempt, None, rng)
+                for attempt in range(1, attempts + 1)]
+
+    def test_same_seed_same_formula_replays_schedule(self):
+        a = ServiceClient(seed=7)
+        b = ServiceClient(seed=7)
+        payload = "p cnf 1 1\n1 0\n"
+        assert self._delays(a, payload) == self._delays(b, payload)
+
+    def test_schedule_is_per_formula(self):
+        client = ServiceClient(seed=7)
+        first = self._delays(client, "p cnf 1 1\n1 0\n")
+        second = self._delays(client, "p cnf 1 1\n-1 0\n")
+        assert first != second
+        # ...but re-deriving for the same formula replays it exactly,
+        # regardless of how many other requests ran in between.
+        assert self._delays(client, "p cnf 1 1\n1 0\n") == first
+
+    def test_different_seeds_decorrelate(self):
+        payload = "p cnf 1 1\n1 0\n"
+        assert (self._delays(ServiceClient(seed=1), payload)
+                != self._delays(ServiceClient(seed=2), payload))
+
+    def test_unseeded_client_keeps_entropy_jitter(self):
+        client = ServiceClient()  # seed=None: old behavior
+        assert client.jitter_rng("x") is client._rng
+        for attempt in range(1, 6):
+            delay = client._backoff_delay(attempt, None)
+            cap = min(client.backoff_cap,
+                      client.backoff * (2 ** (attempt - 1)))
+            assert 0.5 * cap <= delay <= 1.5 * cap
+
+    def test_deadline_exhaustion_returns_none(self):
+        client = ServiceClient(seed=3)
+        assert client._backoff_delay(1, time.monotonic() - 1.0) is None
+
+
 class TestServerEndToEnd:
     def test_solve_miss_then_hit_then_shutdown(self, live_server):
         server, box, config = live_server
